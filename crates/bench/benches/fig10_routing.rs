@@ -1,0 +1,41 @@
+//! Bench for Figure 10 (routing algorithms): regenerates the series, then
+//! times the two-application scenario under local adaptive vs DBAR routing.
+
+use bench::{bench_config, TIMED_CYCLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::fig10;
+use experiments::sweep::build_network;
+use noc_sim::config::SimConfig;
+use rair::scheme::{Routing, Scheme};
+use traffic::scenario::two_app;
+
+fn regen_and_time(c: &mut Criterion) {
+    let ec = bench_config();
+    let result = fig10::run(&ec);
+    eprintln!("{}", fig10::table(&result).render());
+
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for (label, routing) in [("local", Routing::Local), ("dbar", Routing::Dbar)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::table1();
+                let (region, scenario) = two_app(&cfg, 1.0, 0.035, 0.33);
+                let mut net = build_network(
+                    &cfg,
+                    &region,
+                    &Scheme::rair(),
+                    routing,
+                    Box::new(scenario),
+                    1,
+                );
+                net.run(TIMED_CYCLES);
+                net.stats.recorder.delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, regen_and_time);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench for Figure 12 (dynamic priority adaptation): regenerates both DPA
+//! scenarios, then times the four-application scenario under each DPA mode.
+
+use bench::{bench_config, TIMED_CYCLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::fig12;
+use experiments::sweep::build_network;
+use noc_sim::config::SimConfig;
+use rair::scheme::{Routing, Scheme};
+use traffic::scenario::four_app_dpa_a;
+
+fn regen_and_time(c: &mut Criterion) {
+    let ec = bench_config();
+    let (a, b) = fig12::run(&ec);
+    eprintln!("{}", fig12::table(&a).render());
+    eprintln!("{}", fig12::table(&b).render());
+
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for (label, scheme) in [
+        ("native_high", Scheme::rair_native_high()),
+        ("foreign_high", Scheme::rair_foreign_high()),
+        ("dpa", Scheme::rair()),
+    ] {
+        g.bench_function(label, |bch| {
+            bch.iter(|| {
+                let cfg = SimConfig::table1();
+                let (region, scenario) = four_app_dpa_a(&cfg, 0.03, 0.55);
+                let mut net = build_network(
+                    &cfg,
+                    &region,
+                    &scheme,
+                    Routing::Local,
+                    Box::new(scenario),
+                    1,
+                );
+                net.run(TIMED_CYCLES);
+                net.stats.recorder.delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, regen_and_time);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench for Figure 14 (six-application RNoC, uniform-random global
+//! traffic): regenerates the comparison, then times the scenario per scheme.
+
+use bench::{bench_config, TIMED_CYCLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::fig14;
+use experiments::sweep::build_network;
+use noc_sim::config::SimConfig;
+use rair::scheme::{Routing, Scheme};
+use traffic::scenario::{six_app, InterDest};
+
+fn regen_and_time(c: &mut Criterion) {
+    let ec = bench_config();
+    let result = fig14::run(&ec);
+    eprintln!("{}", fig14::table(&result).render());
+
+    let rates = [0.03, 0.3, 0.1, 0.07, 0.08, 0.3];
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for (label, scheme, routing) in [
+        ("ro_rr", Scheme::RoRr, Routing::Local),
+        ("ra_dbar", Scheme::RoRr, Routing::Dbar),
+        ("ro_rank", Scheme::ro_rank(rates.to_vec()), Routing::Local),
+        ("ra_rair", Scheme::rair(), Routing::Local),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::table1();
+                let (region, scenario) = six_app(&cfg, rates, InterDest::OutsideUniform);
+                let mut net =
+                    build_network(&cfg, &region, &scheme, routing, Box::new(scenario), 1);
+                net.run(TIMED_CYCLES);
+                net.stats.recorder.delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, regen_and_time);
+criterion_main!(benches);

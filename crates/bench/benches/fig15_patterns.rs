@@ -1,0 +1,43 @@
+//! Bench for Figure 15 (global-traffic patterns): regenerates the
+//! per-pattern comparison, then times the six-application scenario under
+//! each global traffic pattern.
+
+use bench::{bench_config, TIMED_CYCLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::fig15;
+use experiments::sweep::build_network;
+use noc_sim::config::SimConfig;
+use rair::scheme::{Routing, Scheme};
+use traffic::scenario::six_app;
+
+fn regen_and_time(c: &mut Criterion) {
+    let ec = bench_config();
+    let result = fig15::run(&ec);
+    eprintln!("{}", fig15::table(&result).render());
+
+    let rates = [0.03, 0.3, 0.1, 0.07, 0.08, 0.3];
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    for (label, global) in fig15::patterns() {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::table1();
+                let (region, scenario) = six_app(&cfg, rates, global.clone());
+                let mut net = build_network(
+                    &cfg,
+                    &region,
+                    &Scheme::rair(),
+                    Routing::Local,
+                    Box::new(scenario),
+                    1,
+                );
+                net.run(TIMED_CYCLES);
+                net.stats.recorder.delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, regen_and_time);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench for Figure 17 (PARSEC workloads under adversarial traffic):
+//! regenerates the slowdown table, then times the PARSEC workload with and
+//! without the adversary.
+
+use bench::{bench_config, TIMED_CYCLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::fig17;
+use experiments::sweep::build_network;
+use noc_sim::config::SimConfig;
+use noc_sim::region::RegionMap;
+use rair::scheme::{Routing, Scheme};
+use traffic::adversarial::Adversarial;
+use traffic::workload::{AppModel, ParsecWorkload};
+
+fn regen_and_time(c: &mut Criterion) {
+    let ec = bench_config();
+    let result = fig17::run(&ec);
+    eprintln!("{}", fig17::table(&result).render());
+
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    for adversarial in [false, true] {
+        let label = if adversarial { "parsec_adv" } else { "parsec" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::table1_req_reply();
+                let region = RegionMap::quadrants(&cfg);
+                let w = ParsecWorkload::new(&cfg, &region, AppModel::parsec_four());
+                let mut net = if adversarial {
+                    let adv =
+                        Adversarial::new(w, fig17::ADVERSARIAL_RATE, 64, cfg.long_flits);
+                    build_network(&cfg, &region, &Scheme::rair(), Routing::Local, Box::new(adv), 1)
+                } else {
+                    build_network(&cfg, &region, &Scheme::rair(), Routing::Local, Box::new(w), 1)
+                };
+                net.run(TIMED_CYCLES);
+                net.stats.recorder.delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, regen_and_time);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for Figure 9 (impact of multi-stage prioritization): regenerates
+//! the series, then times the two-application scenario under each scheme.
+
+use bench::{bench_config, TIMED_CYCLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::fig9;
+use experiments::sweep::build_network;
+use noc_sim::config::SimConfig;
+use rair::scheme::{Routing, Scheme};
+use traffic::scenario::two_app;
+
+fn regen_and_time(c: &mut Criterion) {
+    let ec = bench_config();
+    let result = fig9::run(&ec);
+    eprintln!(
+        "{}",
+        fig9::table("Fig.9 (bench regeneration, ultra-quick)", &result).render()
+    );
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for (label, scheme) in [
+        ("ro_rr", Scheme::RoRr),
+        ("rair_va", Scheme::rair_va_only()),
+        ("rair_va_sa", Scheme::rair()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::table1();
+                let (region, scenario) = two_app(&cfg, 1.0, 0.035, 0.33);
+                let mut net = build_network(
+                    &cfg,
+                    &region,
+                    &scheme,
+                    Routing::Local,
+                    Box::new(scenario),
+                    1,
+                );
+                net.run(TIMED_CYCLES);
+                net.stats.recorder.delivered()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, regen_and_time);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the simulator substrate itself: per-cycle cost of an
+//! idle mesh, a saturated mesh, and the Table 1 configuration check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figs::table1;
+use noc_sim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+struct Flood {
+    rate: f64,
+}
+
+impl TrafficSource for Flood {
+    fn num_apps(&self) -> usize {
+        1
+    }
+    fn generate(&mut self, node: NodeId, _cycle: u64, rng: &mut SmallRng) -> Option<NewPacket> {
+        if !rng.random_bool(self.rate) {
+            return None;
+        }
+        let mut dst = rng.random_range(0..63u16);
+        if dst >= node {
+            dst += 1;
+        }
+        Some(NewPacket {
+            dst,
+            app: 0,
+            class: 0,
+            size: 5,
+            reply: None,
+        })
+    }
+}
+
+fn micro(c: &mut Criterion) {
+    eprintln!("{}", table1::table().render());
+
+    let mut g = c.benchmark_group("router_micro");
+    g.sample_size(20);
+    g.bench_function("idle_1k_cycles", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::table1();
+            let mut net = Network::new(
+                cfg,
+                RegionMap::single(&SimConfig::table1()),
+                Box::new(DuatoLocalAdaptive),
+                Box::new(RoundRobin),
+                Box::new(NoTraffic),
+                1,
+            );
+            net.run(1_000);
+            net.cycle()
+        })
+    });
+    g.bench_function("saturated_1k_cycles", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::table1();
+            let mut net = Network::new(
+                cfg,
+                RegionMap::single(&SimConfig::table1()),
+                Box::new(DuatoLocalAdaptive),
+                Box::new(RoundRobin),
+                Box::new(Flood { rate: 0.3 }),
+                1,
+            );
+            net.run(1_000);
+            net.stats.recorder.delivered()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [--seed N] [--csv] <experiment>...
+//! ```
+//! where `<experiment>` is one of `table1`, `fig9`, `fig10`, `fig12`,
+//! `fig14`, `fig15`, `fig17`, `lbdr`, `ablation-delta`,
+//! `ablation-vcsplit`, or `all`.
+
+use experiments::figs;
+use experiments::runner::ExpConfig;
+use metrics::Table;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|curve|trace-demo|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+[--trace-file PATH]";
+
+fn main() -> ExitCode {
+    let mut ec = ExpConfig::full();
+    let mut csv = false;
+    let mut trace_file = String::from("/tmp/rair_trace.bin");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                ec = ExpConfig {
+                    seed: ec.seed,
+                    ..ExpConfig::quick()
+                };
+            }
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => ec.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => csv = true,
+            "--trace-file" => match args.next() {
+                Some(p) => trace_file = p,
+                None => {
+                    eprintln!("--trace-file needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1",
+            "lbdr",
+            "fig9",
+            "fig10",
+            "fig12",
+            "fig14",
+            "fig15",
+            "fig17",
+            "ablation-delta",
+            "ablation-vcsplit",
+            "ablation-rank",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let emit = |t: &Table| {
+        if csv {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+
+    for exp in &experiments {
+        eprintln!(
+            "[repro] running {exp} ({} + {} cycles, seed {})…",
+            ec.warmup, ec.measure, ec.seed
+        );
+        match exp.as_str() {
+            "table1" => emit(&figs::table1::table()),
+            "lbdr" => emit(&figs::lbdr_analysis::table(200_000, ec.seed)),
+            "fig9" => {
+                let r = figs::fig9::run(&ec);
+                emit(&figs::fig9::table(
+                    "Fig.9 — APL vs inter-region fraction p (MSP stages)",
+                    &r,
+                ));
+                let base = r.point("RO_RR", 1.0);
+                let full = r.point("RAIR_VA+SA", 1.0);
+                println!(
+                    "at p=100%: RAIR_VA+SA vs RO_RR: App0 {:+.1}%, App1 {:+.1}%  (paper: -18.9%, <+3%)\n",
+                    (full.apl[0] / base.apl[0] - 1.0) * 100.0,
+                    (full.apl[1] / base.apl[1] - 1.0) * 100.0,
+                );
+            }
+            "fig10" => {
+                let r = figs::fig10::run(&ec);
+                emit(&figs::fig10::table(&r));
+                let base = r.point("RO_RR_Local", 1.0);
+                let rd = r.point("RAIR_DBAR", 1.0);
+                let bd = r.point("RO_RR_DBAR", 1.0);
+                println!(
+                    "at p=100%: RAIR_DBAR vs RO_RR_Local: App0 {:+.1}%, App1 {:+.1}% (paper: -24.8%, -3.3%); vs RO_RR_DBAR: App0 {:+.1}%, App1 {:+.1}% (paper: -12.8%, +1.8%)\n",
+                    (rd.apl[0] / base.apl[0] - 1.0) * 100.0,
+                    (rd.apl[1] / base.apl[1] - 1.0) * 100.0,
+                    (rd.apl[0] / bd.apl[0] - 1.0) * 100.0,
+                    (rd.apl[1] / bd.apl[1] - 1.0) * 100.0,
+                );
+            }
+            "fig12" => {
+                let (a, b) = figs::fig12::run(&ec);
+                emit(&figs::fig12::table(&a));
+                emit(&figs::fig12::table(&b));
+                println!(
+                    "RAIR_DPA avg reduction: (a) {:+.1}%, (b) {:+.1}%  (paper: 12.8%, 12.2%)\n",
+                    a.avg_reduction("RAIR_DPA") * 100.0,
+                    b.avg_reduction("RAIR_DPA") * 100.0,
+                );
+            }
+            "fig14" => {
+                let r = figs::fig14::run(&ec);
+                emit(&figs::fig14::table(&r));
+                println!(
+                    "avg reduction vs RO_RR: RA_DBAR {:+.1}%, RO_Rank {:+.1}%, RA_RAIR {:+.1}%  (paper: 3.4%, 5.8%, 10.1%)\n",
+                    r.avg_reduction("RA_DBAR", None) * 100.0,
+                    r.avg_reduction("RO_Rank", None) * 100.0,
+                    r.avg_reduction("RA_RAIR", None) * 100.0,
+                );
+            }
+            "fig15" => {
+                let r = figs::fig15::run(&ec);
+                emit(&figs::fig15::table(&r));
+                println!(
+                    "RA_RAIR average over patterns: {:+.1}%  (paper: 13.4%)\n",
+                    r.overall_reduction("RA_RAIR") * 100.0
+                );
+            }
+            "fig17" => {
+                let r = figs::fig17::run(&ec);
+                emit(&figs::fig17::table(&r));
+                println!(
+                    "avg slowdowns: RO_RR {:.2}, RA_DBAR {:.2}, RO_Rank {:.2}, RA_RAIR {:.2}  (paper: 1.92, 1.75, 1.47, 1.18)\n",
+                    r.avg_slowdown("RO_RR"),
+                    r.avg_slowdown("RA_DBAR"),
+                    r.avg_slowdown("RO_Rank"),
+                    r.avg_slowdown("RA_RAIR"),
+                );
+            }
+            "trace-demo" => trace_demo(&ec, &trace_file, csv),
+            "curve" => {
+                for pattern in [
+                    traffic::pattern::Pattern::UniformRandom,
+                    traffic::pattern::Pattern::Transpose,
+                    traffic::pattern::Pattern::BitComplement,
+                ] {
+                    let c = figs::curve::run(&ec, pattern, 0.6, 12);
+                    emit(&figs::curve::table(&c));
+                    if let Some(k) = figs::curve::knee(&c) {
+                        println!("{} knee (3x zero-load) at ~{k:.3} flits/cycle/node\n", c.pattern);
+                    }
+                }
+            }
+            "ablation-delta" => emit(&figs::ablation::table(&figs::ablation::delta_sweep(&ec))),
+            "ablation-vcsplit" => {
+                emit(&figs::ablation::table(&figs::ablation::vc_split_sweep(&ec)))
+            }
+            "ablation-rank" => {
+                emit(&figs::ablation::table(&figs::ablation::rank_estimation(&ec)))
+            }
+            "baselines" => emit(&figs::ablation::table(&figs::ablation::baselines(&ec))),
+            other => {
+                eprintln!("unknown experiment {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Capture a six-application trace to `path`, then replay the *identical*
+/// offered traffic under RO_RR and RA_RAIR — the deterministic trace-driven
+/// mode that sharpens scheme comparisons.
+fn trace_demo(ec: &ExpConfig, path: &str, csv: bool) {
+    use experiments::runner::run_one;
+    use experiments::sweep::build_network;
+    use noc_sim::config::SimConfig;
+    use rair::scheme::{Routing, Scheme};
+    use traffic::scenario::{six_app, InterDest};
+    use traffic::trace::{Trace, TraceReplay};
+
+    let cfg = SimConfig::table1();
+    let rates = [0.03, 0.3, 0.1, 0.07, 0.08, 0.3];
+    let cycles = ec.warmup + ec.measure;
+    let (region, scenario) = six_app(&cfg, rates, InterDest::OutsideUniform);
+    let trace = Trace::capture(scenario, cfg.num_nodes() as u16, cycles, ec.seed);
+    std::fs::write(path, trace.to_bytes()).expect("write trace file");
+    eprintln!(
+        "[repro] captured {} events over {} cycles to {path}",
+        trace.events.len(),
+        cycles
+    );
+    let loaded = Trace::from_bytes(std::fs::read(path).expect("read trace file").into())
+        .expect("parse trace file");
+    assert_eq!(loaded, trace, "trace file round-trip mismatch");
+
+    let mut t = metrics::Table::new(
+        "Trace-driven comparison (identical offered traffic from file)",
+        &["scheme", "App0", "App1", "App2", "App3", "App4", "App5"],
+    );
+    for scheme in [Scheme::RoRr, Scheme::rair()] {
+        let replay = TraceReplay::new(&loaded, cfg.num_nodes() as u16);
+        let net = build_network(
+            &cfg,
+            &region,
+            &scheme,
+            Routing::Local,
+            Box::new(replay),
+            ec.seed,
+        );
+        let r = run_one(scheme.label(), net, ec);
+        let mut row = vec![r.label.clone()];
+        row.extend((0..6).map(|a| metrics::report::f2(r.app_apl(a))));
+        t.row(row);
+    }
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,191 @@
+//! Ablation studies for RAIR's design parameters (§IV.C and §VI of the
+//! paper discuss both qualitatively; these benches quantify them on the
+//! six-application scenario of Fig. 13/14).
+//!
+//! * **Hysteresis width Δ** — the paper observed Δ ∈ 0.1…0.3 works with
+//!   the best case around 0.2.
+//! * **Regional:global VC split** — §VI argues a roughly equal split
+//!   supports generic traffic best.
+
+use crate::figs::fig14::six_app_rates;
+use crate::runner::{run_one, run_parallel, ExpConfig, Job, RunResult};
+use crate::sweep::build_network;
+use metrics::report::{f2, pct};
+use metrics::Table;
+use noc_sim::config::SimConfig;
+use rair::dpa::DpaMode;
+use rair::msp::MspConfig;
+use rair::scheme::{Routing, Scheme};
+use traffic::scenario::{six_app, InterDest};
+
+/// `(parameter label, per-app APL)` rows, with RO_RR as row 0.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    pub title: String,
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl AblationResult {
+    /// APL reduction of row `label` relative to the RO_RR baseline row,
+    /// averaged per application (the paper's aggregation).
+    pub fn reduction(&self, label: &str) -> f64 {
+        let base = &self.rows[0].1;
+        let v = &self
+            .rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("no row {label}"))
+            .1;
+        let s: f64 = v.iter().zip(base).map(|(a, b)| 1.0 - a / b).sum();
+        s / v.len() as f64
+    }
+}
+
+fn run_rows(
+    ec: &ExpConfig,
+    title: &str,
+    configs: Vec<(String, SimConfig, Scheme)>,
+) -> AblationResult {
+    let rates = six_app_rates(ec);
+    let jobs: Vec<Job> = configs
+        .into_iter()
+        .map(|(label, cfg, scheme)| {
+            let ec = *ec;
+            let job: Job = Box::new(move || {
+                let (region, scenario) = six_app(&cfg, rates, InterDest::OutsideUniform);
+                let net = build_network(
+                    &cfg,
+                    &region,
+                    &scheme,
+                    Routing::Local,
+                    Box::new(scenario),
+                    ec.seed,
+                );
+                run_one(label, net, &ec)
+            });
+            job
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    AblationResult {
+        title: title.to_string(),
+        rows: results
+            .into_iter()
+            .map(|r: RunResult| {
+                let apl: Vec<f64> = (0..6).map(|a| r.app_apl(a)).collect();
+                (r.label, apl)
+            })
+            .collect(),
+    }
+}
+
+/// Sweep the DPA hysteresis width Δ.
+pub fn delta_sweep(ec: &ExpConfig) -> AblationResult {
+    let cfg = SimConfig::table1();
+    let mut configs = vec![("RO_RR".to_string(), cfg.clone(), Scheme::RoRr)];
+    for delta in [0.0, 0.1, 0.2, 0.3, 0.5] {
+        configs.push((
+            format!("RAIR d={delta}"),
+            cfg.clone(),
+            Scheme::Rair {
+                msp: MspConfig::va_and_sa(),
+                dpa: DpaMode::Dynamic { delta },
+            },
+        ));
+    }
+    run_rows(ec, "Ablation — DPA hysteresis width (six-app UR scenario)", configs)
+}
+
+/// Sweep the regional:global adaptive-VC split.
+pub fn vc_split_sweep(ec: &ExpConfig) -> AblationResult {
+    let base = SimConfig::table1();
+    let mut configs = vec![("RO_RR".to_string(), base.clone(), Scheme::RoRr)];
+    for regional in 0..=base.adaptive_vcs {
+        let mut cfg = base.clone();
+        cfg.regional_vcs = regional;
+        configs.push((
+            format!("RAIR {}R:{}G", regional, base.adaptive_vcs - regional),
+            cfg,
+            Scheme::rair(),
+        ));
+    }
+    run_rows(
+        ec,
+        "Ablation — regional:global VC split (six-app UR scenario)",
+        configs,
+    )
+}
+
+/// All region-oblivious baselines side by side (round-robin, oldest-first,
+/// oracle and online STC) against RAIR on the six-app scenario — extends
+/// the paper's comparison with the age-based arbiter it cites as an early
+/// region-oblivious proposal \[1\].
+pub fn baselines(ec: &ExpConfig) -> AblationResult {
+    let cfg = SimConfig::table1();
+    let rates = six_app_rates(ec);
+    let configs = vec![
+        ("RO_RR".to_string(), cfg.clone(), Scheme::RoRr),
+        ("RO_Age".to_string(), cfg.clone(), Scheme::RoAge),
+        (
+            "RO_Rank".to_string(),
+            cfg.clone(),
+            Scheme::ro_rank(rates.to_vec()),
+        ),
+        (
+            "RO_RankOnline".to_string(),
+            cfg.clone(),
+            Scheme::ro_rank_online(6),
+        ),
+        ("RA_RAIR".to_string(), cfg, Scheme::rair()),
+    ];
+    run_rows(
+        ec,
+        "Extension — all baselines vs RAIR (six-app UR scenario)",
+        configs,
+    )
+}
+
+/// Oracle vs online STC ranking (extension beyond the paper, which grants
+/// STC an optimal-ranking oracle): how much of RO_Rank's benefit survives
+/// when intensities must be estimated at run time?
+pub fn rank_estimation(ec: &ExpConfig) -> AblationResult {
+    let cfg = SimConfig::table1();
+    let rates = six_app_rates(ec);
+    let configs = vec![
+        ("RO_RR".to_string(), cfg.clone(), Scheme::RoRr),
+        (
+            "RO_Rank (oracle)".to_string(),
+            cfg.clone(),
+            Scheme::ro_rank(rates.to_vec()),
+        ),
+        (
+            "RO_RankOnline".to_string(),
+            cfg.clone(),
+            Scheme::ro_rank_online(6),
+        ),
+        ("RA_RAIR".to_string(), cfg, Scheme::rair()),
+    ];
+    run_rows(
+        ec,
+        "Ablation — oracle vs online STC ranking (six-app UR scenario)",
+        configs,
+    )
+}
+
+/// Render an ablation result.
+pub fn table(res: &AblationResult) -> Table {
+    let mut t = Table::new(res.title.clone(), &["config", "mean APL", "vs RO_RR"]);
+    for (label, apl) in &res.rows {
+        let mean = apl.iter().sum::<f64>() / apl.len() as f64;
+        t.row(vec![
+            label.clone(),
+            f2(mean),
+            if label == "RO_RR" {
+                "—".into()
+            } else {
+                pct(res.reduction(label))
+            },
+        ]);
+    }
+    t
+}

@@ -1,0 +1,41 @@
+//! §III.B — LBDR mapping-validity analysis ("only ≈14 % of configurations
+//! are allowed").
+
+use metrics::report::pct;
+use metrics::Table;
+use rair::lbdr::{exact_valid_fraction, max_regions, sampled_valid_fraction};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Compute the exact and sampled valid-mapping fractions for the paper's
+/// 16-core / 4-MC / 4-app×4-thread setting plus nearby configurations.
+pub fn table(samples: usize, seed: u64) -> Table {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        "LBDR valid application-to-core mappings (paper: ~14% for 4 apps x 4 threads)",
+        &["apps x threads", "exact", "sampled", "max regions"],
+    );
+    for (apps, threads) in [(2usize, 8usize), (4, 4), (8, 2)] {
+        let exact = exact_valid_fraction(apps as u64, threads as u64);
+        let sampled = sampled_valid_fraction(apps, threads, samples, &mut rng);
+        t.row(vec![
+            format!("{apps} x {threads}"),
+            pct(exact),
+            pct(sampled),
+            format!("{}", max_regions(apps)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_contains_paper_case() {
+        let t = super::table(20_000, 7);
+        let s = t.render();
+        assert!(s.contains("4 x 4"));
+        // Exact fraction for the paper case renders as +14.1%.
+        assert!(s.contains("+14.1%"), "{s}");
+    }
+}

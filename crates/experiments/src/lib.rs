@@ -1,0 +1,18 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! One driver per table/figure of §V (plus the §III LBDR analysis and two
+//! ablations), a parallel sweep runner, and the saturation-load cache that
+//! anchors the "% of saturation" load definitions.
+//!
+//! The `repro` binary exposes all drivers from the command line:
+//!
+//! ```text
+//! repro [--quick] [--seed N] <table1|fig9|fig10|fig12|fig14|fig15|fig17|
+//!                             lbdr|ablation-delta|ablation-vcsplit|all>
+//! ```
+
+pub mod figs;
+pub mod runner;
+pub mod sweep;
+
+pub use runner::{run_one, run_parallel, ExpConfig, Job, RunResult};

@@ -1,0 +1,201 @@
+//! Simulation runner: executes configured networks (optionally in parallel
+//! across a sweep) and extracts per-application results.
+
+use metrics::LatencyKind;
+use noc_sim::network::Network;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Warmup/measurement window and seed for one experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExpConfig {
+    pub warmup: u64,
+    pub measure: u64,
+    pub seed: u64,
+    /// Quick mode trades statistical tightness for speed (used by the
+    /// Criterion benches and the test suite).
+    pub quick: bool,
+}
+
+impl ExpConfig {
+    /// The paper's windows: 10K warmup + 100K measurement cycles (§V.A).
+    pub fn full() -> Self {
+        Self {
+            warmup: 10_000,
+            measure: 100_000,
+            seed: 0xC0FFEE,
+            quick: false,
+        }
+    }
+
+    /// Reduced windows for benches/tests.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 2_000,
+            measure: 15_000,
+            seed: 0xC0FFEE,
+            quick: true,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Label identifying the run (scheme, parameters…).
+    pub label: String,
+    /// Mean network latency (injection→ejection) per application; `None`
+    /// when the application delivered no packets in the window.
+    pub apl: Vec<Option<f64>>,
+    /// Mean total latency (generation→ejection) per application.
+    pub total_latency: Vec<Option<f64>>,
+    /// Packets delivered in the measurement window.
+    pub delivered: u64,
+    /// Flit throughput in flits/cycle/node.
+    pub throughput: f64,
+}
+
+impl RunResult {
+    /// Unweighted mean of the per-application APLs (how the paper averages
+    /// "over all applications"), restricted to `apps` if given.
+    pub fn mean_apl(&self, apps: Option<&[usize]>) -> f64 {
+        let vals: Vec<f64> = match apps {
+            Some(idx) => idx.iter().filter_map(|&a| self.apl[a]).collect(),
+            None => self.apl.iter().flatten().copied().collect(),
+        };
+        assert!(!vals.is_empty(), "no delivered packets in {}", self.label);
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    /// APL of one application (panics if it delivered nothing).
+    pub fn app_apl(&self, app: usize) -> f64 {
+        self.apl[app]
+            .unwrap_or_else(|| panic!("app {app} delivered no packets in {}", self.label))
+    }
+}
+
+/// Run one already-built network through warmup + measurement and collect
+/// the result.
+pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> RunResult {
+    net.run_warmup_measure(cfg.warmup, cfg.measure);
+    let rec = &net.stats.recorder;
+    let napps = rec.num_apps();
+    RunResult {
+        label: label.into(),
+        apl: (0..napps)
+            .map(|a| rec.app(a).mean(LatencyKind::Network))
+            .collect(),
+        total_latency: (0..napps)
+            .map(|a| rec.app(a).mean(LatencyKind::Total))
+            .collect(),
+        delivered: rec.delivered(),
+        throughput: net.stats.throughput(net.cycle(), net.cfg.num_nodes()),
+    }
+}
+
+/// A deferred simulation job for the parallel sweep runner.
+pub type Job = Box<dyn FnOnce() -> RunResult + Send>;
+
+/// Execute jobs across all available cores (one simulation per thread —
+/// runs are independent and deterministic, so parallelism never changes
+/// results). Results are returned in job order.
+pub fn run_parallel(jobs: Vec<Job>) -> Vec<RunResult> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let queue: Mutex<Vec<(usize, Job)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let active = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let job = queue.lock().pop();
+                let Some((idx, job)) = job else { break };
+                active.fetch_add(1, Ordering::Relaxed);
+                let r = job();
+                results.lock()[idx] = Some(r);
+                active.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::prelude::*;
+
+    fn tiny_net(seed: u64) -> Network {
+        let cfg = SimConfig::table1();
+        let pkt = NewPacket {
+            dst: 9,
+            app: 0,
+            class: 0,
+            size: 1,
+            reply: None,
+        };
+        Network::new(
+            cfg,
+            RegionMap::single(&SimConfig::table1()),
+            Box::new(DuatoLocalAdaptive),
+            Box::new(RoundRobin),
+            Box::new(ScriptedSource::new(1, vec![(2100, 0, pkt)])),
+            seed,
+        )
+    }
+
+    #[test]
+    fn run_one_collects_apl() {
+        let cfg = ExpConfig {
+            warmup: 2_000,
+            measure: 3_000,
+            seed: 0,
+            quick: true,
+        };
+        let r = run_one("probe", tiny_net(1), &cfg);
+        assert_eq!(r.delivered, 1);
+        assert!(r.app_apl(0) > 0.0);
+        assert!(r.mean_apl(None) > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let cfg = ExpConfig {
+            warmup: 1_000,
+            measure: 2_500,
+            seed: 0,
+            quick: true,
+        };
+        let mk = |i: usize| -> Job {
+            Box::new(move || run_one(format!("job{i}"), tiny_net(i as u64), &cfg))
+        };
+        let serial: Vec<RunResult> = (0..6).map(|i| (mk(i))()).collect();
+        let parallel = run_parallel((0..6).map(mk).collect());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.delivered, p.delivered);
+            assert_eq!(s.apl, p.apl, "parallelism changed results");
+        }
+    }
+
+    #[test]
+    fn empty_jobs_ok() {
+        assert!(run_parallel(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared experiment plumbing: network construction from (scheme, routing)
+//! and a process-wide saturation-load cache.
+//!
+//! The paper expresses all synthetic loads as a percentage of each
+//! application's saturation load. Saturation measurement is itself a
+//! binary-search of simulations, so results are cached per (layout, mix,
+//! app) key — every figure driver then shares the same reference loads.
+
+use crate::runner::ExpConfig;
+use noc_sim::config::SimConfig;
+use noc_sim::network::Network;
+use noc_sim::region::RegionMap;
+use noc_sim::source::TrafficSource;
+use parking_lot::Mutex;
+use rair::scheme::{Routing, Scheme};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use traffic::saturation::{app_saturation, SaturationProbe};
+use traffic::scenario::AppSpec;
+
+/// Build a network from the scheme/routing matrix plus a traffic source.
+pub fn build_network(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    scheme: &Scheme,
+    routing: Routing,
+    source: Box<dyn TrafficSource>,
+    seed: u64,
+) -> Network {
+    Network::new(
+        cfg.clone(),
+        region.clone(),
+        routing.build(),
+        scheme.build(),
+        source,
+        seed,
+    )
+}
+
+fn sat_cache() -> &'static Mutex<HashMap<String, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Saturation load (flits/cycle/node) of application `app` running alone
+/// with traffic mix `spec` on `region`, measured under round-robin
+/// arbitration with local adaptive routing, cached under `key`.
+pub fn cached_saturation(
+    key: &str,
+    ec: &ExpConfig,
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: u8,
+    spec: &AppSpec,
+) -> f64 {
+    if let Some(&v) = sat_cache().lock().get(key) {
+        return v;
+    }
+    let probe = if ec.quick {
+        SaturationProbe::quick()
+    } else {
+        SaturationProbe::default()
+    };
+    let sat = app_saturation(&probe, cfg, region, app, spec, || {
+        Routing::Local.build()
+    });
+    assert!(sat > 0.0, "saturation search collapsed to zero for {key}");
+    sat_cache().lock().insert(key.to_string(), sat);
+    sat
+}
+
+/// Clear the saturation cache (tests).
+pub fn clear_saturation_cache() {
+    sat_cache().lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::source::NoTraffic;
+
+    #[test]
+    fn build_network_wires_scheme_and_routing() {
+        let cfg = SimConfig::table1();
+        let region = RegionMap::single(&cfg);
+        let net = build_network(
+            &cfg,
+            &region,
+            &Scheme::rair(),
+            Routing::Dbar,
+            Box::new(NoTraffic),
+            1,
+        );
+        assert_eq!(net.policy_name(), "RA_RAIR");
+        assert_eq!(net.routing_name(), "DBAR");
+    }
+
+    #[test]
+    fn saturation_cache_hits() {
+        clear_saturation_cache();
+        let cfg = SimConfig::table1();
+        let region = RegionMap::halves(&cfg);
+        let ec = ExpConfig::quick();
+        let spec = AppSpec::intra_only(0.0);
+        let a = cached_saturation("test/halves0", &ec, &cfg, &region, 0, &spec);
+        let b = cached_saturation("test/halves0", &ec, &cfg, &region, 0, &spec);
+        assert_eq!(a, b);
+        assert!(a > 0.05 && a < 1.0, "saturation {a}");
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `repro` binary: argument handling and the fast
+//! experiments (the slow figures are covered by the headline-claims
+//! integration tests at library level).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = repro().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let out = repro().arg("fig99").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let out = repro().arg("--frob").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_succeeds() {
+    let out = repro().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn seed_requires_value() {
+    let out = repro().args(["--seed"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed needs an integer"));
+}
+
+#[test]
+fn table1_prints_configuration() {
+    let out = repro().arg("table1").output().unwrap();
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Table 1"));
+    assert!(s.contains("128 cycles"));
+    assert!(s.contains("64 nodes"));
+}
+
+#[test]
+fn table1_csv_mode() {
+    let out = repro().args(["--csv", "table1"]).output().unwrap();
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.starts_with("parameter,paper,simulator"));
+    assert!(!s.contains("=="), "CSV must not contain table borders");
+}
+
+#[test]
+fn lbdr_reports_14_percent() {
+    let out = repro().arg("lbdr").output().unwrap();
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("+14.1%"), "{s}");
+}
+
+#[test]
+fn trace_demo_roundtrips_through_file() {
+    let dir = std::env::temp_dir().join("rair_repro_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.bin");
+    let out = repro()
+        .args([
+            "--quick",
+            "--trace-file",
+            path.to_str().unwrap(),
+            "trace-demo",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Trace-driven comparison"));
+    assert!(s.contains("RA_RAIR"));
+    assert!(path.exists(), "trace file not written");
+    assert!(std::fs::metadata(&path).unwrap().len() > 1000);
+    std::fs::remove_file(&path).ok();
+}

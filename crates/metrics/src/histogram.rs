@@ -1,0 +1,145 @@
+//! Fixed-layout latency histogram with power-of-two bucket widths.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over `u64` samples (packet latencies in cycles).
+///
+/// Buckets are exponential: bucket `i` covers `[2^i, 2^(i+1))`, with bucket 0
+/// covering `[0, 2)`. This gives constant-time insertion, bounded memory and
+/// good resolution at both the zero-load (~10 cycles) and congested
+/// (thousands of cycles) ends of the latency distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+const NUM_BUCKETS: usize = 40;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(x: u64) -> usize {
+        if x < 2 {
+            0
+        } else {
+            ((64 - x.leading_zeros()) as usize - 1).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn push(&mut self, x: u64) {
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`): upper bound of the bucket in
+    /// which the `q`-th sample falls. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i == 0 { 1 } else { 1u64 << (i + 1) });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Reset to empty.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+    }
+
+    /// Bucket counts (for rendering distribution sketches).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+    }
+
+    #[test]
+    fn quantile_of_uniform_block() {
+        let mut h = Histogram::new();
+        for x in 0..1000u64 {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 1000);
+        // Median of 0..1000 is ~500, bucket upper bound 512 or 1024.
+        let med = h.quantile(0.5).unwrap();
+        assert!((512..=1024).contains(&med), "median bound {med}");
+        // p0 lands in the lowest occupied bucket.
+        assert!(h.quantile(0.0).unwrap() <= 2);
+    }
+
+    #[test]
+    fn empty_quantile_none() {
+        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.push(10);
+        b.push(20);
+        b.push(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn huge_sample_clamps_to_last_bucket() {
+        let mut h = Histogram::new();
+        h.push(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(*h.buckets().last().unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Streaming statistics, histograms and plain-text report tables used by the
+//! RAIR reproduction.
+//!
+//! The simulator records one latency sample per delivered packet; experiment
+//! drivers aggregate per-application and per-scheme results into tables that
+//! mirror the rows/series of the paper's figures. Everything here is
+//! allocation-light so it can be updated on the simulator's hot path.
+
+pub mod histogram;
+pub mod latency;
+pub mod report;
+pub mod stats;
+pub mod viz;
+
+pub use histogram::Histogram;
+pub use latency::{LatencyKind, LatencyRecorder, PerAppLatency};
+pub use report::Table;
+pub use stats::Streaming;

@@ -1,0 +1,195 @@
+//! Streaming (single-pass) summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style streaming mean/variance/min/max accumulator.
+///
+/// Numerically stable for long runs (hundreds of thousands of packet
+/// latencies), O(1) per sample, no allocation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Streaming {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Streaming {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Add one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples pushed so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance, or `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two samples.
+    pub fn stddev(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).sqrt())
+    }
+
+    /// Smallest sample seen, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &Streaming) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to the empty state (used at the warmup→measurement boundary).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_mean() {
+        let s = Streaming::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.variance().is_none());
+        assert!(s.stddev().is_none());
+    }
+
+    #[test]
+    fn mean_min_max_of_known_sequence() {
+        let mut s = Streaming::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min().unwrap(), 2.0);
+        assert_eq!(s.max().unwrap(), 9.0);
+        // Population variance of this classic sequence is 4.
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut all = Streaming::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Streaming::new();
+        let mut b = Streaming::new();
+        for &x in &xs[..317] {
+            a.push(x);
+        }
+        for &x in &xs[317..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-6);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Streaming::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.mean().unwrap();
+        a.merge(&Streaming::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().unwrap(), before);
+
+        let mut e = Streaming::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean().unwrap(), before);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut s = Streaming::new();
+        s.push(42.0);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_none());
+    }
+
+    #[test]
+    fn single_sample_stddev_none() {
+        let mut s = Streaming::new();
+        s.push(7.0);
+        assert!(s.stddev().is_none());
+        assert_eq!(s.variance(), Some(0.0));
+    }
+}

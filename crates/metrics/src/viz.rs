@@ -1,0 +1,94 @@
+//! Minimal dependency-free terminal visualizations: shaded grid heatmaps
+//! (per-node congestion) and sparklines (time series), used by the examples
+//! and the experiment drivers for at-a-glance inspection.
+
+/// Shade characters from empty to full.
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// Render a `width × height` grid of values (row-major) as a shaded
+/// heatmap. Values are normalized to the maximum; an all-zero grid renders
+/// as blanks. Each cell is two characters wide for a squarer aspect ratio.
+pub fn heatmap(values: &[f64], width: usize) -> String {
+    assert!(
+        width > 0 && values.len().is_multiple_of(width),
+        "non-rectangular grid"
+    );
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    let border = "─".repeat(width * 2);
+    out.push_str(&format!("┌{border}┐\n"));
+    for row in values.chunks(width) {
+        out.push('│');
+        for &v in row {
+            let shade = if max == 0.0 {
+                SHADES[0]
+            } else {
+                let idx = ((v / max) * (SHADES.len() - 1) as f64).round() as usize;
+                SHADES[idx.min(SHADES.len() - 1)]
+            };
+            out.push(shade);
+            out.push(shade);
+        }
+        out.push_str("│\n");
+    }
+    out.push_str(&format!("└{border}┘\n"));
+    out
+}
+
+/// Render a time series as a one-line sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_has_grid_shape() {
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let m = heatmap(&vals, 4);
+        let lines: Vec<&str> = m.lines().collect();
+        assert_eq!(lines.len(), 6); // border + 4 rows + border
+        // The max cell renders as full blocks.
+        assert!(m.contains("██"));
+    }
+
+    #[test]
+    fn zero_grid_is_blank() {
+        let m = heatmap(&[0.0; 4], 2);
+        assert!(!m.contains('█'));
+        assert!(!m.contains('░'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-rectangular")]
+    fn rejects_ragged_grid() {
+        heatmap(&[1.0; 5], 2);
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+    }
+
+    #[test]
+    fn sparkline_of_zeros() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+    }
+}

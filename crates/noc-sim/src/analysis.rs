@@ -1,0 +1,160 @@
+//! Optional run-time analysis instrumentation: per-link flit counts,
+//! VC-occupancy breakdown by native/foreign and regional/global class, and
+//! single-packet journey tracing.
+//!
+//! Disabled by default (the hot path pays one branch); enable with
+//! [`crate::network::Network::enable_analysis`]. Used by the
+//! link-utilization example and the congestion analyses in the experiment
+//! write-ups.
+
+use crate::ids::{NodeId, Port, NUM_PORTS};
+use serde::{Deserialize, Serialize};
+
+/// One event in a traced packet's journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JourneyEvent {
+    /// Head flit entered the network at this node.
+    Injected { node: NodeId },
+    /// A flit won switch allocation and left through `port`.
+    Forwarded { router: NodeId, port: Port },
+    /// Tail flit consumed at the destination.
+    Delivered { node: NodeId },
+}
+
+/// Accumulated analysis state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisState {
+    /// Flits forwarded per router per output port (LOCAL = ejections).
+    pub link_flits: Vec<[u64; NUM_PORTS]>,
+    /// Cycles observed.
+    pub cycles: u64,
+    /// Occupied-VC cycle counts by traffic origin (native vs foreign),
+    /// summed over all routers and cycles.
+    pub occ_native: u64,
+    pub occ_foreign: u64,
+    /// Occupied-VC cycle counts by adaptive-VC tag.
+    pub occ_regional: u64,
+    pub occ_global: u64,
+    /// Packet id being traced, if any.
+    pub watch: Option<u64>,
+    /// The traced packet's journey so far.
+    pub journey: Vec<(u64, JourneyEvent)>,
+}
+
+impl AnalysisState {
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            link_flits: vec![[0; NUM_PORTS]; num_nodes],
+            cycles: 0,
+            occ_native: 0,
+            occ_foreign: 0,
+            occ_regional: 0,
+            occ_global: 0,
+            watch: None,
+            journey: Vec::new(),
+        }
+    }
+
+    /// Mean utilization (flits/cycle) of output `port` at `router`.
+    pub fn link_utilization(&self, router: NodeId, port: Port) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.link_flits[router as usize][port] as f64 / self.cycles as f64
+    }
+
+    /// Total flits forwarded by each router onto mesh links (ejections
+    /// excluded) — a per-node activity map for heatmaps.
+    pub fn forwarding_activity(&self) -> Vec<f64> {
+        self.link_flits
+            .iter()
+            .map(|ports| {
+                ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| *p != crate::ids::PORT_LOCAL)
+                    .map(|(_, &c)| c as f64)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The most heavily used (router, port) link and its utilization.
+    pub fn hottest_link(&self) -> Option<(NodeId, Port, f64)> {
+        let mut best: Option<(NodeId, Port, u64)> = None;
+        for (r, ports) in self.link_flits.iter().enumerate() {
+            for (p, &c) in ports.iter().enumerate() {
+                if p == crate::ids::PORT_LOCAL {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, b)| c > b) {
+                    best = Some((r as NodeId, p, c));
+                }
+            }
+        }
+        best.map(|(r, p, c)| {
+            (
+                r,
+                p,
+                if self.cycles == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.cycles as f64
+                },
+            )
+        })
+    }
+
+    /// Fraction of occupied-VC cycles held by foreign traffic.
+    pub fn foreign_occupancy_share(&self) -> f64 {
+        let total = self.occ_native + self.occ_foreign;
+        if total == 0 {
+            0.0
+        } else {
+            self.occ_foreign as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let mut a = AnalysisState::new(4);
+        a.cycles = 100;
+        a.link_flits[2][crate::ids::PORT_EAST] = 50;
+        assert!((a.link_utilization(2, crate::ids::PORT_EAST) - 0.5).abs() < 1e-12);
+        assert_eq!(a.link_utilization(1, crate::ids::PORT_EAST), 0.0);
+        let (r, p, u) = a.hottest_link().unwrap();
+        assert_eq!((r, p), (2, crate::ids::PORT_EAST));
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forwarding_activity_excludes_ejections() {
+        let mut a = AnalysisState::new(2);
+        a.link_flits[0][crate::ids::PORT_LOCAL] = 100;
+        a.link_flits[0][crate::ids::PORT_EAST] = 7;
+        let act = a.forwarding_activity();
+        assert_eq!(act[0], 7.0);
+        assert_eq!(act[1], 0.0);
+    }
+
+    #[test]
+    fn empty_state_is_quiet() {
+        let a = AnalysisState::new(3);
+        assert_eq!(a.foreign_occupancy_share(), 0.0);
+        assert_eq!(a.hottest_link().map(|(_, _, u)| u), Some(0.0));
+        assert_eq!(a.link_utilization(0, crate::ids::PORT_WEST), 0.0);
+    }
+
+    #[test]
+    fn occupancy_share() {
+        let mut a = AnalysisState::new(1);
+        a.occ_native = 30;
+        a.occ_foreign = 10;
+        assert!((a.foreign_occupancy_share() - 0.25).abs() < 1e-12);
+    }
+}

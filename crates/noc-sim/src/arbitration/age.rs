@@ -1,0 +1,56 @@
+//! Age-based (oldest-first) arbitration [Abts & Weisser, SC'07].
+
+use super::{ArbReq, ArbStage, PriorityPolicy};
+use crate::router::Router;
+use crate::vc::VcClass;
+
+/// Oldest packet (earliest generation cycle) wins every arbitration.
+/// Region- and application-oblivious; listed among the early proposals in
+/// §III.A of the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgeBased;
+
+impl PriorityPolicy for AgeBased {
+    fn name(&self) -> &'static str {
+        "RO_Age"
+    }
+
+    fn priority(
+        &self,
+        _stage: ArbStage,
+        _router: &Router,
+        _out_vc: Option<VcClass>,
+        req: &ArbReq,
+    ) -> u64 {
+        // Earlier birth → higher priority.
+        u64::MAX - req.birth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn older_beats_younger() {
+        let cfg = SimConfig::table1();
+        let r = Router::new(&cfg, 0, cfg.coord_of(0), 0);
+        let p = AgeBased;
+        let old = ArbReq {
+            app: 0,
+            class: 0,
+            birth: 10,
+            inject: 11,
+            is_native: true,
+        };
+        let young = ArbReq {
+            birth: 500,
+            ..old
+        };
+        assert!(
+            p.priority(ArbStage::SaIn, &r, None, &old)
+                > p.priority(ArbStage::SaIn, &r, None, &young)
+        );
+    }
+}

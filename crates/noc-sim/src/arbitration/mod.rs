@@ -1,0 +1,180 @@
+//! Arbitration: the four arbitration steps of the canonical router
+//! (VA_in, VA_out, SA_in, SA_out — §IV.B of the paper) and the pluggable
+//! priority policies that decide their winners.
+//!
+//! * VA_in needs no arbitration policy: each input VC independently selects
+//!   which output VC to request (the routing selection function), so traffic
+//!   flows do not contend there — exactly the observation the paper uses to
+//!   leave VA_in unchanged in MSP.
+//! * VA_out, SA_in and SA_out arbitrate among *competing flows*; a
+//!   [`PriorityPolicy`] assigns each request a numeric priority and ties are
+//!   broken round-robin (so every policy degrades to fair round-robin among
+//!   equal-priority requestors — the paper's rule for traffic within the
+//!   foreign aggregate).
+
+mod age;
+mod round_robin;
+mod stc;
+mod stc_online;
+
+pub use age::AgeBased;
+pub use round_robin::RoundRobin;
+pub use stc::{StcRank, DEFAULT_BATCH_WINDOW};
+pub use stc_online::{StcRankOnline, DEFAULT_RANK_INTERVAL};
+
+use crate::ids::{AppId, MsgClass};
+use crate::router::Router;
+use crate::vc::{VcClass, VcTag};
+
+/// Which arbitration step a priority is being computed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbStage {
+    /// VC allocation, output side: one winner per output VC.
+    VaOut,
+    /// Switch allocation, input side: one winning VC per input port.
+    SaIn,
+    /// Switch allocation, output side: one winning input port per output port.
+    SaOut,
+}
+
+/// A single arbitration request (one competing packet).
+#[derive(Debug, Clone, Copy)]
+pub struct ArbReq {
+    /// Application the packet belongs to.
+    pub app: AppId,
+    /// Message class.
+    pub class: MsgClass,
+    /// Cycle the packet was generated (for age/batch policies).
+    pub birth: u64,
+    /// Cycle the packet entered the network.
+    pub inject: u64,
+    /// Native (`true`) or foreign (`false`) with respect to the router
+    /// performing the arbitration.
+    pub is_native: bool,
+}
+
+/// A priority policy: maps requests to numeric priorities (higher wins).
+///
+/// Implementations must be cheap — these run on every arbitration of every
+/// router every cycle.
+pub trait PriorityPolicy: Send + Sync {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Priority of `req` at `stage`. For `VaOut` the class of the contested
+    /// output VC is supplied (this is where VC regionalization acts);
+    /// `None` for the SA stages.
+    fn priority(
+        &self,
+        stage: ArbStage,
+        router: &Router,
+        out_vc: Option<VcClass>,
+        req: &ArbReq,
+    ) -> u64;
+
+    /// Per-router per-cycle state update (e.g. the DPA hysteresis
+    /// transition). Runs after all pipeline stages of the cycle, so any
+    /// state written here is consumed starting *next* cycle — the paper's
+    /// one-cycle priority delay (§IV.E).
+    fn update_router(&self, _router: &mut Router, _cycle: u64) {}
+
+    /// Preferred adaptive-VC tag when an input VC picks which free output VC
+    /// to request (VA_in). `None` = no preference (lowest free index).
+    fn vc_tag_preference(&self, _router: &Router, _req: &ArbReq) -> Option<VcTag> {
+        None
+    }
+}
+
+/// Round-robin arbitration among requests with priorities.
+///
+/// `reqs` holds `(priority, slot_key)` pairs where `slot_key < num_slots`
+/// identifies the physical requestor (input VC index, input port index, …).
+/// Among the maximum-priority requests, the one whose key comes first at or
+/// after `*ptr` (cyclically) wins, and the pointer advances past it — a
+/// standard rotating-priority arbiter.
+///
+/// Returns the index *into `reqs`* of the winner.
+pub fn arbitrate_rr(reqs: &[(u64, usize)], num_slots: usize, ptr: &mut usize) -> Option<usize> {
+    if reqs.is_empty() {
+        return None;
+    }
+    let max_prio = reqs.iter().map(|r| r.0).max().unwrap();
+    let mut best: Option<(usize, usize)> = None; // (rotated distance, req index)
+    for (i, &(p, key)) in reqs.iter().enumerate() {
+        if p != max_prio {
+            continue;
+        }
+        debug_assert!(key < num_slots, "slot key {key} out of range {num_slots}");
+        let dist = (key + num_slots - *ptr) % num_slots;
+        if best.is_none_or(|(d, _)| dist < d) {
+            best = Some((dist, i));
+        }
+    }
+    let (_, widx) = best.expect("at least one max-priority request");
+    *ptr = (reqs[widx].1 + 1) % num_slots;
+    Some(widx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        let mut ptr = 0;
+        assert_eq!(arbitrate_rr(&[], 4, &mut ptr), None);
+        assert_eq!(ptr, 0);
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut ptr = 0;
+        let reqs = [(1, 0), (5, 1), (3, 2)];
+        let w = arbitrate_rr(&reqs, 4, &mut ptr).unwrap();
+        assert_eq!(reqs[w].1, 1);
+        assert_eq!(ptr, 2);
+    }
+
+    #[test]
+    fn equal_priorities_rotate_fairly() {
+        // Three requestors with equal priority should each win once in
+        // three consecutive arbitrations.
+        let mut ptr = 0;
+        let reqs = [(7u64, 0usize), (7, 1), (7, 2)];
+        let mut wins = vec![];
+        for _ in 0..3 {
+            let w = arbitrate_rr(&reqs, 3, &mut ptr).unwrap();
+            wins.push(reqs[w].1);
+        }
+        wins.sort_unstable();
+        assert_eq!(wins, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pointer_wraps() {
+        let mut ptr = 3;
+        let reqs = [(1u64, 0usize), (1, 3)];
+        // ptr=3 → slot 3 is at distance 0, wins first.
+        let w = arbitrate_rr(&reqs, 4, &mut ptr).unwrap();
+        assert_eq!(reqs[w].1, 3);
+        assert_eq!(ptr, 0);
+        let w = arbitrate_rr(&reqs, 4, &mut ptr).unwrap();
+        assert_eq!(reqs[w].1, 0);
+    }
+
+    #[test]
+    fn starvation_free_under_contention() {
+        // One high-priority and one low-priority requestor: low priority
+        // never wins while high is present (strict priority)...
+        let mut ptr = 0;
+        for _ in 0..10 {
+            let reqs = [(2u64, 0usize), (1, 1)];
+            let w = arbitrate_rr(&reqs, 2, &mut ptr).unwrap();
+            assert_eq!(reqs[w].1, 0);
+        }
+        // ...but wins as soon as the high-priority requestor leaves.
+        let reqs = [(1u64, 1usize)];
+        let w = arbitrate_rr(&reqs, 2, &mut ptr).unwrap();
+        assert_eq!(reqs[w].1, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! RO_RR: region-oblivious round-robin (the paper's baseline).
+
+use super::{ArbReq, ArbStage, PriorityPolicy};
+use crate::router::Router;
+use crate::vc::VcClass;
+
+/// All requests carry equal priority; the rotating arbiter alone decides.
+/// This is the `RO_RR` baseline of §V.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl PriorityPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RO_RR"
+    }
+
+    fn priority(
+        &self,
+        _stage: ArbStage,
+        _router: &Router,
+        _out_vc: Option<VcClass>,
+        _req: &ArbReq,
+    ) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn constant_priority() {
+        let cfg = SimConfig::table1();
+        let r = Router::new(&cfg, 0, cfg.coord_of(0), 0);
+        let p = RoundRobin;
+        let req = ArbReq {
+            app: 0,
+            class: 0,
+            birth: 5,
+            inject: 6,
+            is_native: true,
+        };
+        let req2 = ArbReq {
+            app: 3,
+            birth: 999,
+            is_native: false,
+            ..req
+        };
+        assert_eq!(
+            p.priority(ArbStage::SaIn, &r, None, &req),
+            p.priority(ArbStage::SaOut, &r, None, &req2)
+        );
+        assert_eq!(p.name(), "RO_RR");
+    }
+}

@@ -1,0 +1,249 @@
+//! Simulator configuration, including the paper's Table 1 parameters.
+
+use crate::ids::{Coord, MsgClass, NodeId};
+use crate::vc::{VcClass, VcTag};
+use serde::{Deserialize, Serialize};
+
+/// Network and router-microarchitecture configuration.
+///
+/// Defaults follow Table 1 of the paper: 64 nodes (8×8 mesh), 128-bit links
+/// (16-byte flits), atomic 5-flit virtual channels, 6-cycle L2 bank service,
+/// 128-cycle memory service, 64-byte cache blocks. Packets are either 1-flit
+/// short packets (16 B control) or 5-flit long packets (head + 64 B data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Mesh width (columns).
+    pub width: u8,
+    /// Mesh height (rows).
+    pub height: u8,
+    /// Number of message classes (virtual networks). Each class gets one
+    /// escape VC per port (deadlock freedom per Duato's theory); all classes
+    /// share the adaptive VCs, as prescribed in §IV.D of the paper.
+    pub num_classes: usize,
+    /// Adaptive (fully-routable) VCs per port, shared by all classes.
+    pub adaptive_vcs: usize,
+    /// How many of the adaptive VCs are tagged *regional*; the remainder are
+    /// tagged *global*. §VI recommends a roughly equal split.
+    pub regional_vcs: usize,
+    /// Buffer depth of each VC, in flits.
+    pub vc_depth: usize,
+    /// Flits in a short packet (16-byte control message).
+    pub short_flits: u32,
+    /// Flits in a long packet (head flit + 64-byte data).
+    pub long_flits: u32,
+    /// L2 bank service latency in cycles (closed-loop request/reply mode).
+    pub l2_latency: u64,
+    /// Memory service latency in cycles.
+    pub mem_latency: u64,
+    /// Cache block size in bytes (documentation only; implied by long_flits).
+    pub block_bytes: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+impl SimConfig {
+    /// The paper's Table 1 configuration (single message class, as used for
+    /// the synthetic-traffic experiments).
+    pub fn table1() -> Self {
+        Self {
+            width: 8,
+            height: 8,
+            num_classes: 1,
+            adaptive_vcs: 4,
+            regional_vcs: 2,
+            vc_depth: 5,
+            short_flits: 1,
+            long_flits: 5,
+            l2_latency: 6,
+            mem_latency: 128,
+            block_bytes: 64,
+        }
+    }
+
+    /// Table 1 configuration with two message classes (request + reply) for
+    /// the closed-loop PARSEC-style workloads.
+    pub fn table1_req_reply() -> Self {
+        Self {
+            num_classes: 2,
+            ..Self::table1()
+        }
+    }
+
+    /// Number of nodes in the mesh.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Total VCs per port: one escape VC per message class + adaptive VCs.
+    #[inline]
+    pub fn vcs_per_port(&self) -> usize {
+        self.num_classes + self.adaptive_vcs
+    }
+
+    /// Classify VC index `vc` within a port.
+    ///
+    /// Layout: indices `0..num_classes` are the per-class escape VCs
+    /// (running dimension-order routing); the remaining indices are adaptive
+    /// VCs, the first `regional_vcs` of which carry the *regional* tag and
+    /// the rest the *global* tag (the 1-bit field of §IV.A).
+    #[inline]
+    pub fn vc_class(&self, vc: usize) -> VcClass {
+        if vc < self.num_classes {
+            VcClass::Escape {
+                class: vc as MsgClass,
+            }
+        } else {
+            let a = vc - self.num_classes;
+            VcClass::Adaptive {
+                tag: if a < self.regional_vcs {
+                    VcTag::Regional
+                } else {
+                    VcTag::Global
+                },
+            }
+        }
+    }
+
+    /// Index of the escape VC for message class `class`.
+    #[inline]
+    pub fn escape_vc(&self, class: MsgClass) -> usize {
+        debug_assert!((class as usize) < self.num_classes);
+        class as usize
+    }
+
+    /// Iterator over the adaptive VC indices.
+    pub fn adaptive_vc_range(&self) -> std::ops::Range<usize> {
+        self.num_classes..self.vcs_per_port()
+    }
+
+    /// Node id of coordinate `c` (row-major).
+    #[inline]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        c.y as NodeId * self.width as NodeId + c.x as NodeId
+    }
+
+    /// Coordinate of node `id`.
+    #[inline]
+    pub fn coord_of(&self, id: NodeId) -> Coord {
+        Coord {
+            x: (id % self.width as NodeId) as u8,
+            y: (id / self.width as NodeId) as u8,
+        }
+    }
+
+    /// The four corner node ids (the memory-controller tiles of §V.E).
+    pub fn corners(&self) -> [NodeId; 4] {
+        let w = self.width as NodeId;
+        let h = self.height as NodeId;
+        [0, w - 1, (h - 1) * w, h * w - 1]
+    }
+
+    /// Validate internal consistency; called by `Network::new`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width < 2 || self.height < 2 {
+            return Err("mesh must be at least 2x2".into());
+        }
+        if self.num_classes == 0 || self.num_classes > 4 {
+            return Err("num_classes must be 1..=4".into());
+        }
+        if self.adaptive_vcs == 0 {
+            return Err("need at least one adaptive VC".into());
+        }
+        if self.regional_vcs > self.adaptive_vcs {
+            return Err("regional_vcs exceeds adaptive_vcs".into());
+        }
+        if self.vc_depth == 0 {
+            return Err("vc_depth must be nonzero".into());
+        }
+        if self.long_flits as usize > self.vc_depth {
+            return Err("long packets must fit in one VC (atomic VCs)".into());
+        }
+        if self.num_nodes() > NodeId::MAX as usize {
+            return Err("too many nodes for NodeId".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = SimConfig::table1();
+        assert_eq!(c.num_nodes(), 64); // 64 cores
+        assert_eq!(c.vc_depth, 5); // 5-flit/VC
+        assert_eq!(c.l2_latency, 6); // 6-cycle L2
+        assert_eq!(c.mem_latency, 128); // 128-cycle memory
+        assert_eq!(c.block_bytes, 64); // 64-byte blocks
+        assert_eq!(c.short_flits, 1); // 16B single-flit
+        assert_eq!(c.long_flits, 5); // 64B + head flit
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn vc_layout() {
+        let c = SimConfig::table1_req_reply();
+        assert_eq!(c.num_classes, 2);
+        assert_eq!(c.vcs_per_port(), 6);
+        assert_eq!(c.vc_class(0), VcClass::Escape { class: 0 });
+        assert_eq!(c.vc_class(1), VcClass::Escape { class: 1 });
+        assert_eq!(
+            c.vc_class(2),
+            VcClass::Adaptive {
+                tag: VcTag::Regional
+            }
+        );
+        assert_eq!(
+            c.vc_class(3),
+            VcClass::Adaptive {
+                tag: VcTag::Regional
+            }
+        );
+        assert_eq!(c.vc_class(4), VcClass::Adaptive { tag: VcTag::Global });
+        assert_eq!(c.vc_class(5), VcClass::Adaptive { tag: VcTag::Global });
+        assert_eq!(c.escape_vc(1), 1);
+        assert_eq!(c.adaptive_vc_range(), 2..6);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let c = SimConfig::table1();
+        for id in 0..c.num_nodes() as NodeId {
+            assert_eq!(c.node_at(c.coord_of(id)), id);
+        }
+        assert_eq!(c.coord_of(0), Coord { x: 0, y: 0 });
+        assert_eq!(c.coord_of(63), Coord { x: 7, y: 7 });
+    }
+
+    #[test]
+    fn corners_are_corners() {
+        let c = SimConfig::table1();
+        assert_eq!(c.corners(), [0, 7, 56, 63]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = SimConfig::table1();
+        c.long_flits = 9;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::table1();
+        c.regional_vcs = 5;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::table1();
+        c.adaptive_vcs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::table1();
+        c.width = 1;
+        assert!(c.validate().is_err());
+    }
+}

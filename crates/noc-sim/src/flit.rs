@@ -1,0 +1,147 @@
+//! Flits and packet descriptors.
+
+use crate::ids::{AppId, MsgClass, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet (carries routing info).
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit of a multi-flit packet (releases the VC).
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    Single,
+}
+
+impl FlitKind {
+    /// True for `Head` and `Single` (flits that trigger route computation).
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::Single)
+    }
+
+    /// True for `Tail` and `Single` (flits that release the VC).
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::Single)
+    }
+}
+
+/// If the packet is a request, what reply its delivery triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplySpec {
+    /// Cycles the destination "services" the request before replying
+    /// (L2 bank or memory latency from Table 1).
+    pub service_latency: u64,
+    /// Reply packet size in flits.
+    pub size: u32,
+    /// Reply message class.
+    pub class: MsgClass,
+}
+
+/// Routing- and accounting-relevant packet metadata, carried by every flit.
+///
+/// In hardware only the head flit carries this; duplicating it per flit is a
+/// standard simulator convenience (GARNET does the same) and keeps the flit
+/// a small `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketInfo {
+    /// Globally unique packet id (monotonic per run).
+    pub id: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Application this packet belongs to; compared against the router's
+    /// region tag to classify the packet as native or foreign traffic.
+    pub app: AppId,
+    /// Message class (virtual network).
+    pub class: MsgClass,
+    /// Packet length in flits.
+    pub size: u32,
+    /// Cycle the packet was generated (entered the source queue).
+    pub birth: u64,
+    /// Cycle the head flit entered the injection VC (set by the NI).
+    pub inject: u64,
+    /// Reply to generate on delivery, if this is a request.
+    pub reply: Option<ReplySpec>,
+}
+
+/// A single flow-control unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flit {
+    pub kind: FlitKind,
+    /// Index of this flit within the packet (0-based).
+    pub seq: u32,
+    /// Links traversed so far (incremented on every router-to-router hop).
+    pub hops: u32,
+    pub info: PacketInfo,
+}
+
+impl Flit {
+    /// Break a packet descriptor into its flit sequence.
+    pub fn flits_of(info: PacketInfo) -> impl Iterator<Item = Flit> {
+        let size = info.size;
+        (0..size).map(move |seq| Flit {
+            kind: match (seq, size) {
+                (_, 1) => FlitKind::Single,
+                (0, _) => FlitKind::Head,
+                (s, n) if s + 1 == n => FlitKind::Tail,
+                _ => FlitKind::Body,
+            },
+            seq,
+            hops: 0,
+            info,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(size: u32) -> PacketInfo {
+        PacketInfo {
+            id: 1,
+            src: 0,
+            dst: 5,
+            app: 0,
+            class: 0,
+            size,
+            birth: 10,
+            inject: 0,
+            reply: None,
+        }
+    }
+
+    #[test]
+    fn single_flit_packet() {
+        let f: Vec<Flit> = Flit::flits_of(info(1)).collect();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FlitKind::Single);
+        assert!(f[0].kind.is_head() && f[0].kind.is_tail());
+    }
+
+    #[test]
+    fn five_flit_packet() {
+        let f: Vec<Flit> = Flit::flits_of(info(5)).collect();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[0].kind, FlitKind::Head);
+        assert_eq!(f[1].kind, FlitKind::Body);
+        assert_eq!(f[3].kind, FlitKind::Body);
+        assert_eq!(f[4].kind, FlitKind::Tail);
+        assert!(f.iter().enumerate().all(|(i, fl)| fl.seq == i as u32));
+        assert_eq!(f.iter().filter(|fl| fl.kind.is_head()).count(), 1);
+        assert_eq!(f.iter().filter(|fl| fl.kind.is_tail()).count(), 1);
+    }
+
+    #[test]
+    fn two_flit_packet_head_then_tail() {
+        let f: Vec<Flit> = Flit::flits_of(info(2)).collect();
+        assert_eq!(f[0].kind, FlitKind::Head);
+        assert_eq!(f[1].kind, FlitKind::Tail);
+    }
+}

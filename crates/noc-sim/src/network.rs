@@ -1,0 +1,732 @@
+//! The network: owns all routers and NIs and drives the router pipeline.
+//!
+//! ## Cycle model
+//!
+//! Each [`Network::tick`] executes the pipeline phases in reverse-dataflow
+//! order so that every stage has exactly one cycle of latency:
+//!
+//! 1. **LT/BW** — flits sent last cycle are written into downstream input
+//!    buffers; credits sent last cycle are returned; ejected flits are
+//!    consumed by the NIs (latency recording, reply scheduling).
+//! 2. **SA (+ST)** — switch allocation: SA_in picks one VC per input port,
+//!    SA_out one input port per output port; winners traverse the crossbar
+//!    into the output link registers.
+//! 3. **VA** — VC allocation: VA_in (routing selection, no contention) then
+//!    VA_out (one winner per output VC).
+//! 4. **RC** — route computation for head flits at the front of idle VCs.
+//! 5. **Injection** — NIs release ready replies, ask the traffic source for
+//!    new packets and stream one flit per node into the local input port.
+//! 6. **State update** — DPA occupancy registers and hysteresis priority
+//!    (consumed starting next cycle — the paper's one-cycle delay), and the
+//!    congestion view exported to adaptive routing.
+//!
+//! A head flit arriving at cycle *t* thus departs at *t+3* when uncontended
+//! (RC at *t*, VA at *t+1*, SA/ST at *t+2*, LT lands it downstream at *t+3*),
+//! a 3-stage router plus single-cycle links.
+
+use crate::analysis::{AnalysisState, JourneyEvent};
+use crate::arbitration::{arbitrate_rr, ArbReq, ArbStage, PriorityPolicy};
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketInfo};
+use crate::ids::{opposite, NodeId, Port, NUM_PORTS, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use crate::node::Node;
+use crate::region::RegionMap;
+use crate::router::Router;
+use crate::routing::{RoutingAlgorithm, SelectCtx};
+use crate::source::TrafficSource;
+use crate::stats::SimStats;
+use crate::vc::VcState;
+
+/// A flit in flight on a link, delivered next cycle.
+#[derive(Debug)]
+struct InFlight {
+    dst_router: usize,
+    in_port: Port,
+    vc: usize,
+    flit: Flit,
+}
+
+/// A VA_out request gathered during the shared (read-only) pass.
+#[derive(Debug, Clone, Copy)]
+struct VaReq {
+    out_port: Port,
+    out_vc: usize,
+    in_port: Port,
+    in_vc: usize,
+    prio: u64,
+}
+
+/// An SA candidate gathered during the shared pass.
+#[derive(Debug, Clone, Copy)]
+struct SaCand {
+    in_port: Port,
+    in_vc: usize,
+    out_port: Port,
+    out_vc: usize,
+    prio_in: u64,
+    prio_out: u64,
+}
+
+/// The simulated network-on-chip.
+pub struct Network {
+    pub cfg: SimConfig,
+    pub region: RegionMap,
+    routing: Box<dyn RoutingAlgorithm>,
+    policy: Box<dyn PriorityPolicy>,
+    source: Box<dyn TrafficSource>,
+    pub routers: Vec<Router>,
+    pub nodes: Vec<Node>,
+    cycle: u64,
+    next_pkt_id: u64,
+    in_flight: Vec<InFlight>,
+    eject_q: Vec<(usize, Flit)>,
+    credit_q: Vec<(usize, Port, usize)>,
+    /// Previous-cycle adaptive occupancy per node (congestion view).
+    congestion: Vec<u16>,
+    pub stats: SimStats,
+    /// Optional analysis instrumentation (None = zero-overhead fast path).
+    analysis: Option<AnalysisState>,
+    // Reusable scratch (perf: avoid per-cycle allocation).
+    va_scratch: Vec<VaReq>,
+    sa_scratch: Vec<SaCand>,
+}
+
+impl Network {
+    /// Build a network. `region.num_apps()` may be smaller than
+    /// `source.num_apps()` (e.g. adversarial traffic has no region).
+    pub fn new(
+        cfg: SimConfig,
+        region: RegionMap,
+        routing: Box<dyn RoutingAlgorithm>,
+        policy: Box<dyn PriorityPolicy>,
+        source: Box<dyn TrafficSource>,
+        seed: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        assert_eq!(
+            region.len(),
+            cfg.num_nodes(),
+            "region map size must match mesh"
+        );
+        assert!(
+            region.num_apps() <= source.num_apps(),
+            "source must define at least as many apps as the region map"
+        );
+        let n = cfg.num_nodes();
+        let routers = (0..n)
+            .map(|i| {
+                let id = i as NodeId;
+                Router::new(&cfg, id, cfg.coord_of(id), region.app_of(id))
+            })
+            .collect();
+        let nodes = (0..n)
+            .map(|i| Node::new(&cfg, i as NodeId, seed))
+            .collect();
+        let num_apps = source.num_apps();
+        Self {
+            region,
+            routing,
+            policy,
+            source,
+            routers,
+            nodes,
+            cycle: 0,
+            next_pkt_id: 0,
+            in_flight: Vec::new(),
+            eject_q: Vec::new(),
+            credit_q: Vec::new(),
+            congestion: vec![0; n],
+            stats: SimStats::new(num_apps),
+            analysis: None,
+            va_scratch: Vec::new(),
+            sa_scratch: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Mesh-neighbor router index through output port `p`.
+    #[inline]
+    fn neighbor(cfg: &SimConfig, idx: usize, p: Port) -> usize {
+        let w = cfg.width as usize;
+        match p {
+            PORT_NORTH => idx - w,
+            PORT_SOUTH => idx + w,
+            PORT_EAST => idx + 1,
+            PORT_WEST => idx - 1,
+            _ => panic!("neighbor() through non-mesh port"),
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) {
+        self.deliver_phase();
+        self.sa_phase();
+        self.va_phase();
+        self.rc_phase();
+        self.inject_phase();
+        self.update_state_phase();
+        if let Some(a) = &mut self.analysis {
+            a.cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    /// Run `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Run `warmup` cycles, clear the measurement window, then run
+    /// `measure` cycles.
+    pub fn run_warmup_measure(&mut self, warmup: u64, measure: u64) {
+        self.run(warmup);
+        self.stats.reset_window(self.cycle);
+        self.run(measure);
+    }
+
+    // ------------------------------------------------------- phase 1: LT/BW
+
+    fn deliver_phase(&mut self) {
+        // Credits first (they free space the SA stage may use this cycle).
+        let credits = std::mem::take(&mut self.credit_q);
+        for (r, port, vc) in credits {
+            let c = &mut self.routers[r].credits[port][vc];
+            *c += 1;
+            debug_assert!(*c <= self.cfg.vc_depth, "credit overflow");
+        }
+        let arrivals = std::mem::take(&mut self.in_flight);
+        for a in arrivals {
+            let router = &mut self.routers[a.dst_router];
+            if a.flit.kind.is_head() {
+                router.holder[a.in_port][a.vc] = Some(a.flit.info.app);
+            }
+            let buf = &mut router.inputs[a.in_port][a.vc].buf;
+            debug_assert!(buf.len() < self.cfg.vc_depth, "input buffer overflow");
+            buf.push_back(a.flit);
+        }
+        let ejected = std::mem::take(&mut self.eject_q);
+        for (n, flit) in ejected {
+            self.consume_ejected(n, flit);
+        }
+    }
+
+    fn consume_ejected(&mut self, node_idx: usize, flit: Flit) {
+        self.stats.ejected_flits += 1;
+        if !flit.kind.is_tail() {
+            return;
+        }
+        let info = flit.info;
+        debug_assert_eq!(info.dst as usize, node_idx, "flit ejected at wrong node");
+        let now = self.cycle;
+        if let Some(a) = &mut self.analysis {
+            if a.watch == Some(info.id) {
+                a.journey.push((
+                    now,
+                    JourneyEvent::Delivered {
+                        node: node_idx as NodeId,
+                    },
+                ));
+            }
+        }
+        let network = now.saturating_sub(info.inject);
+        let total = now.saturating_sub(info.birth);
+        self.stats
+            .recorder
+            .record(info.app as usize, network, total, flit.hops, info.size);
+        self.stats.last_progress = now;
+        if let Some(spec) = info.reply {
+            let id = self.next_pkt_id;
+            self.next_pkt_id += 1;
+            self.stats.generated[info.app as usize] += 1;
+            self.nodes[node_idx].schedule_reply(
+                now + spec.service_latency,
+                id,
+                info.src,
+                info.app,
+                spec.class,
+                spec.size,
+            );
+        }
+        self.source.on_delivered(node_idx as NodeId, &info, now);
+    }
+
+    // --------------------------------------------------------- phase 2: SA
+
+    fn sa_phase(&mut self) {
+        let Network {
+            cfg,
+            policy,
+            routers,
+            in_flight,
+            eject_q,
+            credit_q,
+            stats,
+            sa_scratch,
+            cycle,
+            analysis,
+            ..
+        } = self;
+        let v = cfg.vcs_per_port();
+        let policy = &**policy;
+        for (r_idx, r) in routers.iter_mut().enumerate() {
+            // Shared pass: collect candidates.
+            sa_scratch.clear();
+            for in_port in 0..NUM_PORTS {
+                for in_vc in 0..v {
+                    let ivc = &r.inputs[in_port][in_vc];
+                    let VcState::Active { out_port, out_vc } = ivc.state else {
+                        continue;
+                    };
+                    let Some(f) = ivc.buf.front() else { continue };
+                    if !r.has_credit(out_port, out_vc) {
+                        continue;
+                    }
+                    let req = arb_req(r, &f.info);
+                    sa_scratch.push(SaCand {
+                        in_port,
+                        in_vc,
+                        out_port,
+                        out_vc,
+                        prio_in: policy.priority(ArbStage::SaIn, r, None, &req),
+                        prio_out: policy.priority(ArbStage::SaOut, r, None, &req),
+                    });
+                }
+            }
+            if sa_scratch.is_empty() {
+                continue;
+            }
+            // SA_in: one winner per input port.
+            let mut sa_in_winners: [Option<SaCand>; NUM_PORTS] = [None; NUM_PORTS];
+            #[allow(clippy::needless_range_loop)] // in_port also keys sa_in_ptr
+            for in_port in 0..NUM_PORTS {
+                let reqs: Vec<(u64, usize)> = sa_scratch
+                    .iter()
+                    .filter(|c| c.in_port == in_port)
+                    .map(|c| (c.prio_in, c.in_vc))
+                    .collect();
+                if reqs.is_empty() {
+                    continue;
+                }
+                let w = arbitrate_rr(&reqs, v, &mut r.sa_in_ptr[in_port]).unwrap();
+                let win_vc = reqs[w].1;
+                sa_in_winners[in_port] = sa_scratch
+                    .iter()
+                    .find(|c| c.in_port == in_port && c.in_vc == win_vc)
+                    .copied();
+            }
+            // SA_out: one winner per output port among the SA_in winners.
+            for out_port in 0..NUM_PORTS {
+                let reqs: Vec<(u64, usize)> = sa_in_winners
+                    .iter()
+                    .flatten()
+                    .filter(|c| c.out_port == out_port)
+                    .map(|c| (c.prio_out, c.in_port))
+                    .collect();
+                if reqs.is_empty() {
+                    continue;
+                }
+                let w = arbitrate_rr(&reqs, NUM_PORTS, &mut r.sa_out_ptr[out_port]).unwrap();
+                let win = sa_in_winners[reqs[w].1].expect("winner exists");
+                // ST: move the flit.
+                let ivc = &mut r.inputs[win.in_port][win.in_vc];
+                let mut flit = ivc.buf.pop_front().expect("SA winner has a flit");
+                let is_tail = flit.kind.is_tail();
+                if let Some(a) = analysis.as_mut() {
+                    a.link_flits[r_idx][win.out_port] += 1;
+                    if a.watch == Some(flit.info.id) && win.out_port != PORT_LOCAL {
+                        a.journey.push((
+                            *cycle,
+                            JourneyEvent::Forwarded {
+                                router: r.id,
+                                port: win.out_port,
+                            },
+                        ));
+                    }
+                }
+                if win.out_port == PORT_LOCAL {
+                    eject_q.push((r_idx, flit));
+                } else {
+                    flit.hops += 1;
+                    r.credits[win.out_port][win.out_vc] -= 1;
+                    let nb = Self::neighbor(cfg, r_idx, win.out_port);
+                    in_flight.push(InFlight {
+                        dst_router: nb,
+                        in_port: opposite(win.out_port),
+                        vc: win.out_vc,
+                        flit,
+                    });
+                }
+                if win.in_port != PORT_LOCAL {
+                    let up = Self::neighbor(cfg, r_idx, win.in_port);
+                    credit_q.push((up, opposite(win.in_port), win.in_vc));
+                }
+                if is_tail {
+                    r.out_alloc[win.out_port][win.out_vc] = None;
+                    let ivc = &mut r.inputs[win.in_port][win.in_vc];
+                    debug_assert!(
+                        ivc.buf.is_empty(),
+                        "atomic VC violated: flits behind a tail"
+                    );
+                    ivc.state = VcState::Idle;
+                    r.holder[win.in_port][win.in_vc] = None;
+                }
+                stats.last_progress = *cycle;
+            }
+        }
+    }
+
+    // --------------------------------------------------------- phase 3: VA
+
+    fn va_phase(&mut self) {
+        let Network {
+            cfg,
+            region,
+            routing,
+            policy,
+            routers,
+            congestion,
+            va_scratch,
+            ..
+        } = self;
+        let v = cfg.vcs_per_port();
+        let policy = &**policy;
+        let routing = &**routing;
+        for r in routers.iter_mut() {
+            // Shared pass: VA_in — each routed input VC picks one request.
+            va_scratch.clear();
+            for in_port in 0..NUM_PORTS {
+                for in_vc in 0..v {
+                    let ivc = &r.inputs[in_port][in_vc];
+                    let VcState::Routed { adaptive, escape } = ivc.state else {
+                        continue;
+                    };
+                    let head = ivc.buf.front().expect("routed VC holds its head flit");
+                    debug_assert!(head.kind.is_head());
+                    let info = head.info;
+                    let req = arb_req(r, &info);
+                    let request = Self::va_in_select(
+                        cfg, region, routing, policy, congestion, r, &info, &req, adaptive, escape,
+                    );
+                    if let Some((out_port, out_vc)) = request {
+                        let prio = policy.priority(
+                            ArbStage::VaOut,
+                            r,
+                            Some(cfg.vc_class(out_vc)),
+                            &req,
+                        );
+                        va_scratch.push(VaReq {
+                            out_port,
+                            out_vc,
+                            in_port,
+                            in_vc,
+                            prio,
+                        });
+                    }
+                }
+            }
+            if va_scratch.is_empty() {
+                continue;
+            }
+            // VA_out: arbitrate per contested output VC.
+            va_scratch.sort_unstable_by_key(|q| (q.out_port, q.out_vc));
+            let mut i = 0;
+            while i < va_scratch.len() {
+                let (op, ovc) = (va_scratch[i].out_port, va_scratch[i].out_vc);
+                let mut j = i;
+                while j < va_scratch.len()
+                    && va_scratch[j].out_port == op
+                    && va_scratch[j].out_vc == ovc
+                {
+                    j += 1;
+                }
+                let group = &va_scratch[i..j];
+                let reqs: Vec<(u64, usize)> = group
+                    .iter()
+                    .map(|q| (q.prio, q.in_port * v + q.in_vc))
+                    .collect();
+                let ptr = &mut r.va_ptr[op * v + ovc];
+                let w = arbitrate_rr(&reqs, NUM_PORTS * v, ptr).unwrap();
+                let win = group[w];
+                debug_assert!(r.out_alloc[op][ovc].is_none());
+                r.out_alloc[op][ovc] = Some((win.in_port, win.in_vc));
+                r.inputs[win.in_port][win.in_vc].state = VcState::Active {
+                    out_port: op,
+                    out_vc: ovc,
+                };
+                i = j;
+            }
+        }
+    }
+
+    /// VA_in: pick the (output port, output VC) a routed input VC requests
+    /// this cycle. Adaptive candidates first (routing selection function +
+    /// the policy's VC-tag preference); escape VC as fallback; `None` when
+    /// nothing is allocatable.
+    #[allow(clippy::too_many_arguments)]
+    fn va_in_select(
+        cfg: &SimConfig,
+        region: &RegionMap,
+        routing: &dyn RoutingAlgorithm,
+        policy: &dyn PriorityPolicy,
+        congestion: &[u16],
+        r: &Router,
+        info: &PacketInfo,
+        req: &ArbReq,
+        adaptive: [Option<Port>; 2],
+        escape: Port,
+    ) -> Option<(Port, usize)> {
+        // Ejection at the destination: any free local "output VC".
+        if escape == PORT_LOCAL {
+            return (0..cfg.vcs_per_port())
+                .find(|&ovc| r.out_alloc[PORT_LOCAL][ovc].is_none())
+                .map(|ovc| (PORT_LOCAL, ovc));
+        }
+        let mut cands: [Port; 2] = [0; 2];
+        let mut n = 0;
+        for p in adaptive.into_iter().flatten() {
+            if cfg
+                .adaptive_vc_range()
+                .any(|ovc| r.out_vc_allocatable(cfg, p, ovc))
+            {
+                cands[n] = p;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            let ctx = SelectCtx {
+                cfg,
+                router: r,
+                dst: cfg.coord_of(info.dst),
+                region,
+                congestion,
+            };
+            let p = cands[routing.select(&ctx, &cands[..n])];
+            let pref = policy.vc_tag_preference(r, req);
+            if let Some(tag) = pref {
+                if let Some(ovc) = cfg.adaptive_vc_range().find(|&ovc| {
+                    cfg.vc_class(ovc).tag() == Some(tag) && r.out_vc_allocatable(cfg, p, ovc)
+                }) {
+                    return Some((p, ovc));
+                }
+            }
+            return cfg
+                .adaptive_vc_range()
+                .find(|&ovc| r.out_vc_allocatable(cfg, p, ovc))
+                .map(|ovc| (p, ovc));
+        }
+        // Escape fallback (guarantees forward progress per Duato).
+        let esc = cfg.escape_vc(info.class);
+        r.out_vc_allocatable(cfg, escape, esc)
+            .then_some((escape, esc))
+    }
+
+    // --------------------------------------------------------- phase 4: RC
+
+    fn rc_phase(&mut self) {
+        let Network {
+            cfg,
+            routing,
+            routers,
+            ..
+        } = self;
+        let v = cfg.vcs_per_port();
+        for r in routers.iter_mut() {
+            let cur = r.coord;
+            for in_port in 0..NUM_PORTS {
+                for in_vc in 0..v {
+                    let ivc = &mut r.inputs[in_port][in_vc];
+                    if ivc.state != VcState::Idle {
+                        continue;
+                    }
+                    let Some(front) = ivc.buf.front() else { continue };
+                    debug_assert!(
+                        front.kind.is_head(),
+                        "idle VC front flit must be a head (atomic VCs)"
+                    );
+                    let dst = cfg.coord_of(front.info.dst);
+                    ivc.state = if dst == cur {
+                        VcState::Routed {
+                            adaptive: [Some(PORT_LOCAL), None],
+                            escape: PORT_LOCAL,
+                        }
+                    } else {
+                        VcState::Routed {
+                            adaptive: routing.adaptive_ports(cur, dst),
+                            escape: crate::routing::escape_port(cur, dst),
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------- phase 5: injection
+
+    fn inject_phase(&mut self) {
+        let Network {
+            cfg,
+            routers,
+            nodes,
+            source,
+            stats,
+            next_pkt_id,
+            cycle,
+            analysis,
+            ..
+        } = self;
+        for (node, router) in nodes.iter_mut().zip(routers.iter_mut()) {
+            node.release_replies(*cycle);
+            if let Some(np) = source.generate(node.id, *cycle, &mut node.rng) {
+                assert_ne!(np.dst, node.id, "source generated self-addressed packet");
+                assert!(
+                    (np.app as usize) < stats.generated.len(),
+                    "packet app {} out of range",
+                    np.app
+                );
+                assert!(np.size >= 1 && np.size as usize <= cfg.vc_depth);
+                let info = PacketInfo {
+                    id: *next_pkt_id,
+                    src: node.id,
+                    dst: np.dst,
+                    app: np.app,
+                    class: np.class,
+                    size: np.size,
+                    birth: *cycle,
+                    inject: 0,
+                    reply: np.reply,
+                };
+                *next_pkt_id += 1;
+                stats.generated[np.app as usize] += 1;
+                node.enqueue(info);
+            }
+            if let Some(ev) = node.try_inject(cfg, router, *cycle) {
+                stats.injected_flits += 1;
+                if ev.head {
+                    stats.injected_packets[ev.app as usize] += 1;
+                    if let Some(a) = analysis.as_mut() {
+                        if a.watch == Some(ev.packet_id) {
+                            a.journey
+                                .push((*cycle, JourneyEvent::Injected { node: node.id }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------- phase 6: state update
+
+    fn update_state_phase(&mut self) {
+        let Network {
+            cfg,
+            policy,
+            routers,
+            congestion,
+            cycle,
+            analysis,
+            ..
+        } = self;
+        for (i, r) in routers.iter_mut().enumerate() {
+            let (n, f) = r.count_occupancy();
+            r.ovc_native = n;
+            r.ovc_foreign = f;
+            policy.update_router(r, *cycle);
+            congestion[i] = r.adaptive_occupancy(cfg);
+            if let Some(a) = analysis.as_mut() {
+                a.occ_native += n as u64;
+                a.occ_foreign += f as u64;
+                let (reg, glob) = r.tag_occupancy(cfg);
+                a.occ_regional += reg as u64;
+                a.occ_global += glob as u64;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Flits currently inside the network (buffers, links, ejection
+    /// registers). `injected == ejected + in_network` always holds.
+    pub fn flits_in_network(&self) -> u64 {
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        (buffered + self.in_flight.len() + self.eject_q.len()) as u64
+    }
+
+    /// Packets waiting in all source queues (open-loop backlog — grows
+    /// without bound past saturation).
+    pub fn total_backlog(&self) -> usize {
+        self.nodes.iter().map(Node::backlog).sum()
+    }
+
+    /// Cycles since the last crossbar traversal or ejection (deadlock
+    /// watchdog; meaningful only while traffic is offered).
+    pub fn cycles_since_progress(&self) -> u64 {
+        self.cycle.saturating_sub(self.stats.last_progress)
+    }
+
+    /// True when no flit is anywhere in the network or NIs.
+    pub fn is_drained(&self) -> bool {
+        self.flits_in_network() == 0
+            && self.total_backlog() == 0
+            && self.nodes.iter().all(|n| n.pending_replies() == 0)
+    }
+
+    /// Access the traffic source (e.g. to read scripted-source state).
+    pub fn source(&self) -> &dyn TrafficSource {
+        &*self.source
+    }
+
+    /// Enable run-time analysis instrumentation (link counts, occupancy
+    /// breakdown, packet tracing). Counters start from zero.
+    pub fn enable_analysis(&mut self) {
+        self.analysis = Some(AnalysisState::new(self.cfg.num_nodes()));
+    }
+
+    /// Trace one packet id's journey (requires analysis to be enabled).
+    pub fn watch_packet(&mut self, id: u64) {
+        self.analysis
+            .as_mut()
+            .expect("enable_analysis() first")
+            .watch = Some(id);
+    }
+
+    /// Read the analysis state, if enabled.
+    pub fn analysis(&self) -> Option<&AnalysisState> {
+        self.analysis.as_ref()
+    }
+
+    /// Per-node adaptive-VC occupancy snapshot (previous cycle) — the same
+    /// congestion view adaptive routing reads; useful for heatmaps and
+    /// congestion analysis.
+    pub fn congestion_snapshot(&self) -> &[u16] {
+        &self.congestion
+    }
+
+    /// Name of the active priority policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Name of the active routing algorithm.
+    pub fn routing_name(&self) -> &'static str {
+        self.routing.name()
+    }
+}
+
+/// Build an arbitration request for a packet at a router.
+#[inline]
+fn arb_req(r: &Router, info: &PacketInfo) -> ArbReq {
+    ArbReq {
+        app: info.app,
+        class: info.class,
+        birth: info.birth,
+        inject: info.inject,
+        is_native: r.is_native(info.app),
+    }
+}

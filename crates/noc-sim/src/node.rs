@@ -1,0 +1,357 @@
+//! Network interface (NI): per-node source queues, flit injection into the
+//! router's local input port, and reply scheduling for closed-loop
+//! workloads.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketInfo};
+use crate::ids::{MsgClass, NodeId, PORT_LOCAL};
+use crate::router::Router;
+use crate::vc::VcState;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A reply waiting for its service latency to elapse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingReply {
+    ready: u64,
+    /// Tie-break so the heap order is total and deterministic.
+    id: u64,
+    info: ReplyBlueprint,
+}
+
+/// The fields needed to build the reply packet once it becomes ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReplyBlueprint {
+    dst: NodeId,
+    app: crate::ids::AppId,
+    class: MsgClass,
+    size: u32,
+}
+
+impl Ord for PendingReply {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.id).cmp(&(other.ready, other.id))
+    }
+}
+
+impl PartialOrd for PendingReply {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A packet mid-injection: remaining flits and the local VC they stream into.
+#[derive(Debug)]
+struct InjectProgress {
+    vc: usize,
+    flits: VecDeque<Flit>,
+}
+
+/// One node's network interface.
+#[derive(Debug)]
+pub struct Node {
+    pub id: NodeId,
+    /// Per-message-class source queues (unbounded; open-loop backlog shows
+    /// up here and is the saturation signal).
+    src_q: Vec<VecDeque<PacketInfo>>,
+    inject: Option<InjectProgress>,
+    class_rr: usize,
+    vc_rr: usize,
+    replies: BinaryHeap<Reverse<PendingReply>>,
+    /// Per-node RNG: seeded from the run seed and the node id, so results
+    /// are independent of node iteration order.
+    pub rng: SmallRng,
+}
+
+impl Node {
+    pub fn new(cfg: &SimConfig, id: NodeId, seed: u64) -> Self {
+        Self {
+            id,
+            src_q: (0..cfg.num_classes).map(|_| VecDeque::new()).collect(),
+            inject: None,
+            class_rr: 0,
+            vc_rr: 0,
+            replies: BinaryHeap::new(),
+            rng: SmallRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1))),
+        }
+    }
+
+    /// Queue a freshly generated packet.
+    pub fn enqueue(&mut self, info: PacketInfo) {
+        self.src_q[info.class as usize].push_back(info);
+    }
+
+    /// Schedule a reply that becomes ready (enters the source queue) at
+    /// `ready`.
+    pub fn schedule_reply(
+        &mut self,
+        ready: u64,
+        id: u64,
+        dst: NodeId,
+        app: crate::ids::AppId,
+        class: MsgClass,
+        size: u32,
+    ) {
+        self.replies.push(Reverse(PendingReply {
+            ready,
+            id,
+            info: ReplyBlueprint {
+                dst,
+                app,
+                class,
+                size,
+            },
+        }));
+    }
+
+    /// Move service-complete replies into the source queues. Returns the
+    /// number of replies released (they were counted as generated when
+    /// scheduled).
+    pub fn release_replies(&mut self, cycle: u64) -> usize {
+        let mut n = 0;
+        while let Some(Reverse(r)) = self.replies.peek() {
+            if r.ready > cycle {
+                break;
+            }
+            let Reverse(r) = self.replies.pop().unwrap();
+            let info = PacketInfo {
+                id: r.id,
+                src: self.id,
+                dst: r.info.dst,
+                app: r.info.app,
+                class: r.info.class,
+                size: r.info.size,
+                birth: r.ready,
+                inject: 0,
+                reply: None,
+            };
+            self.src_q[info.class as usize].push_back(info);
+            n += 1;
+        }
+        n
+    }
+
+    /// Packets waiting in the source queues (saturation/backlog signal).
+    pub fn backlog(&self) -> usize {
+        self.src_q.iter().map(|q| q.len()).sum::<usize>()
+            + usize::from(self.inject.is_some())
+    }
+
+    /// Replies still being serviced.
+    pub fn pending_replies(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Flits queued at the NI that already left the source queues (belong to
+    /// the packet mid-injection).
+    pub fn inflight_inject_flits(&self) -> usize {
+        self.inject.as_ref().map_or(0, |p| p.flits.len())
+    }
+
+    /// Find an injectable local input VC for a packet of `class`: idle,
+    /// empty, unheld. Adaptive VCs are preferred (rotating among them for
+    /// fairness); the class's escape VC is the fallback.
+    fn pick_vc(&mut self, cfg: &SimConfig, router: &Router, class: MsgClass) -> Option<usize> {
+        let usable = |vc: usize| {
+            let ivc = &router.inputs[PORT_LOCAL][vc];
+            ivc.state == VcState::Idle && ivc.buf.is_empty() && router.holder[PORT_LOCAL][vc].is_none()
+        };
+        let n_adaptive = cfg.adaptive_vcs;
+        for k in 0..n_adaptive {
+            let vc = cfg.num_classes + (self.vc_rr + k) % n_adaptive;
+            if usable(vc) {
+                self.vc_rr = (self.vc_rr + k + 1) % n_adaptive;
+                return Some(vc);
+            }
+        }
+        let esc = cfg.escape_vc(class);
+        usable(esc).then_some(esc)
+    }
+
+    /// Inject up to one flit into the router's local input port. Starts a
+    /// new packet (class queues served round-robin) when none is
+    /// mid-injection. Returns the injected flit's accounting info, if any.
+    pub fn try_inject(&mut self, cfg: &SimConfig, router: &mut Router, cycle: u64) -> Option<InjectedFlit> {
+        if self.inject.is_none() {
+            for k in 0..cfg.num_classes {
+                let c = (self.class_rr + k) % cfg.num_classes;
+                if self.src_q[c].is_empty() {
+                    continue;
+                }
+                if let Some(vc) = self.pick_vc(cfg, router, c as MsgClass) {
+                    let mut info = self.src_q[c].pop_front().unwrap();
+                    info.inject = cycle;
+                    self.inject = Some(InjectProgress {
+                        vc,
+                        flits: Flit::flits_of(info).collect(),
+                    });
+                    self.class_rr = (c + 1) % cfg.num_classes;
+                    break;
+                }
+            }
+        }
+        if let Some(p) = &mut self.inject {
+            let ivc = &mut router.inputs[PORT_LOCAL][p.vc];
+            if ivc.buf.len() < cfg.vc_depth {
+                let flit = p.flits.pop_front().expect("inject progress non-empty");
+                let ev = InjectedFlit {
+                    head: flit.kind.is_head(),
+                    app: flit.info.app,
+                    packet_id: flit.info.id,
+                };
+                if ev.head {
+                    router.holder[PORT_LOCAL][p.vc] = Some(flit.info.app);
+                }
+                ivc.buf.push_back(flit);
+                if p.flits.is_empty() {
+                    self.inject = None;
+                }
+                return Some(ev);
+            }
+        }
+        None
+    }
+}
+
+/// Accounting record for one injected flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFlit {
+    /// True when this was a head flit (counts one injected packet).
+    pub head: bool,
+    pub app: crate::ids::AppId,
+    /// Packet the flit belongs to (for journey tracing).
+    pub packet_id: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::ReplySpec;
+
+    fn cfg() -> SimConfig {
+        SimConfig::table1()
+    }
+
+    fn pkt(id: u64, class: MsgClass, size: u32) -> PacketInfo {
+        PacketInfo {
+            id,
+            src: 0,
+            dst: 5,
+            app: 0,
+            class,
+            size,
+            birth: 0,
+            inject: 0,
+            reply: None,
+        }
+    }
+
+    #[test]
+    fn injects_one_flit_per_cycle() {
+        let c = cfg();
+        let mut node = Node::new(&c, 0, 42);
+        let mut router = Router::new(&c, 0, c.coord_of(0), 0);
+        node.enqueue(pkt(1, 0, 5));
+        let mut injected = 0;
+        for cycle in 0..5 {
+            if let Some(ev) = node.try_inject(&c, &mut router, cycle) {
+                injected += 1;
+                assert_eq!(ev.head, cycle == 0);
+            }
+        }
+        assert_eq!(injected, 5);
+        assert_eq!(node.backlog(), 0);
+        // All five flits went into a single VC (wormhole/atomic).
+        let occupied: Vec<usize> = (0..c.vcs_per_port())
+            .filter(|&v| !router.inputs[PORT_LOCAL][v].buf.is_empty())
+            .collect();
+        assert_eq!(occupied.len(), 1);
+        assert_eq!(router.inputs[PORT_LOCAL][occupied[0]].buf.len(), 5);
+    }
+
+    #[test]
+    fn injection_stalls_when_no_vc_free() {
+        let c = cfg();
+        let mut node = Node::new(&c, 0, 42);
+        let mut router = Router::new(&c, 0, c.coord_of(0), 0);
+        // Occupy every local VC.
+        for vc in 0..c.vcs_per_port() {
+            router.holder[PORT_LOCAL][vc] = Some(9);
+        }
+        node.enqueue(pkt(1, 0, 1));
+        assert!(node.try_inject(&c, &mut router, 0).is_none());
+        assert_eq!(node.backlog(), 1);
+    }
+
+    #[test]
+    fn adaptive_vcs_preferred_over_escape() {
+        let c = cfg();
+        let mut node = Node::new(&c, 0, 42);
+        let mut router = Router::new(&c, 0, c.coord_of(0), 0);
+        node.enqueue(pkt(1, 0, 1));
+        assert!(node.try_inject(&c, &mut router, 0).is_some());
+        let esc = c.escape_vc(0);
+        assert!(router.inputs[PORT_LOCAL][esc].buf.is_empty());
+    }
+
+    #[test]
+    fn escape_used_as_fallback() {
+        let c = cfg();
+        let mut node = Node::new(&c, 0, 42);
+        let mut router = Router::new(&c, 0, c.coord_of(0), 0);
+        for vc in c.adaptive_vc_range() {
+            router.holder[PORT_LOCAL][vc] = Some(9);
+        }
+        node.enqueue(pkt(1, 0, 1));
+        assert!(node.try_inject(&c, &mut router, 0).is_some());
+        assert_eq!(router.inputs[PORT_LOCAL][c.escape_vc(0)].buf.len(), 1);
+    }
+
+    #[test]
+    fn replies_release_in_ready_order() {
+        let c = cfg();
+        let mut node = Node::new(&c, 3, 42);
+        node.schedule_reply(20, 100, 7, 0, 0, 5);
+        node.schedule_reply(10, 101, 8, 0, 0, 1);
+        assert_eq!(node.release_replies(5), 0);
+        assert_eq!(node.release_replies(10), 1);
+        assert_eq!(node.pending_replies(), 1);
+        assert_eq!(node.release_replies(25), 1);
+        // Released replies sit in the source queue with src = this node.
+        assert_eq!(node.backlog(), 2);
+        let first = node.src_q[0].front().unwrap();
+        assert_eq!(first.src, 3);
+        assert_eq!(first.dst, 8);
+        assert_eq!(first.birth, 10);
+    }
+
+    #[test]
+    fn class_queues_round_robin() {
+        let c = SimConfig::table1_req_reply();
+        let mut node = Node::new(&c, 0, 1);
+        let mut router = Router::new(&c, 0, c.coord_of(0), 0);
+        node.enqueue(pkt(1, 0, 1));
+        node.enqueue(pkt(2, 1, 1));
+        node.enqueue(pkt(3, 0, 1));
+        // Three single-flit packets, alternating classes 0,1,0.
+        for cycle in 0..3 {
+            assert!(node.try_inject(&c, &mut router, cycle).is_some());
+        }
+        assert_eq!(node.backlog(), 0);
+    }
+
+    #[test]
+    fn reply_spec_on_request_roundtrip() {
+        // Just exercise the ReplySpec plumbing shape used by Network.
+        let spec = ReplySpec {
+            service_latency: 6,
+            size: 5,
+            class: 1,
+        };
+        let mut p = pkt(1, 0, 1);
+        p.reply = Some(spec);
+        assert_eq!(p.reply.unwrap().service_latency, 6);
+    }
+}

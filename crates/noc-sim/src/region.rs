@@ -1,0 +1,222 @@
+//! Region maps: the application-to-core assignment that turns a mesh into a
+//! regionalized NoC (RNoC).
+//!
+//! A region map tags every router with the application assigned to it
+//! (regional behavior RB-1/RB-2 of the paper). A packet traversing a router
+//! whose tag matches its own application id is *native* traffic there;
+//! otherwise it is *foreign* traffic (§II.C).
+
+use crate::config::SimConfig;
+use crate::ids::{AppId, NodeId, APP_NONE};
+use serde::{Deserialize, Serialize};
+
+/// Application-to-core assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionMap {
+    app_of: Vec<AppId>,
+    num_apps: usize,
+}
+
+impl RegionMap {
+    /// Build from an explicit per-node assignment. `num_apps` is the number
+    /// of applications (ids `0..num_apps`); `APP_NONE` marks unassigned
+    /// tiles.
+    pub fn new(app_of: Vec<AppId>, num_apps: usize) -> Self {
+        for &a in &app_of {
+            assert!(
+                a == APP_NONE || (a as usize) < num_apps,
+                "node assigned to out-of-range app {a}"
+            );
+        }
+        Self { app_of, num_apps }
+    }
+
+    /// Whole chip assigned to one application — the "conventional NoC as a
+    /// special case of RNoC with one region" of §II.A.
+    pub fn single(cfg: &SimConfig) -> Self {
+        Self::new(vec![0; cfg.num_nodes()], 1)
+    }
+
+    /// Two regions: left half = app 0, right half = app 1 (Fig. 8 layout).
+    pub fn halves(cfg: &SimConfig) -> Self {
+        let mid = cfg.width / 2;
+        Self::from_fn(cfg, 2, |c| if c.x < mid { 0 } else { 1 })
+    }
+
+    /// Four quadrant regions, apps 0..4 (Fig. 11 / Fig. 16 layout):
+    /// app 0 = top-left, 1 = top-right, 2 = bottom-left, 3 = bottom-right.
+    pub fn quadrants(cfg: &SimConfig) -> Self {
+        let (mx, my) = (cfg.width / 2, cfg.height / 2);
+        Self::from_fn(cfg, 4, |c| match (c.x < mx, c.y < my) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (false, false) => 3,
+        })
+    }
+
+    /// A grid of `cols × rows` rectangular regions (row-major app ids).
+    /// `cols` must divide the width and `rows` the height.
+    pub fn grid(cfg: &SimConfig, cols: u8, rows: u8) -> Self {
+        assert!(cols > 0 && rows > 0);
+        assert_eq!(cfg.width % cols, 0, "cols must divide mesh width");
+        assert_eq!(cfg.height % rows, 0, "rows must divide mesh height");
+        let (rw, rh) = (cfg.width / cols, cfg.height / rows);
+        Self::from_fn(cfg, (cols * rows) as usize, |c| {
+            (c.y / rh) * cols + (c.x / rw)
+        })
+    }
+
+    /// Six regions on an 8×8 mesh: a 2 (columns) × 3 (rows) grid of 4×2-to-
+    /// 4×3 rectangles, matching the six-application scenario of Fig. 13.
+    /// Rows of regions: apps (0,1) on top, (2,3) in the middle, (4,5) at the
+    /// bottom. Top and bottom bands are 3 rows tall, middle band 2 rows.
+    pub fn six_regions(cfg: &SimConfig) -> Self {
+        assert_eq!(cfg.width, 8, "six_regions expects an 8x8 mesh");
+        assert_eq!(cfg.height, 8, "six_regions expects an 8x8 mesh");
+        Self::from_fn(cfg, 6, |c| {
+            let band = if c.y < 3 {
+                0
+            } else if c.y < 5 {
+                1
+            } else {
+                2
+            };
+            band * 2 + if c.x < 4 { 0 } else { 1 }
+        })
+    }
+
+    /// Build from a coordinate→app function.
+    pub fn from_fn(
+        cfg: &SimConfig,
+        num_apps: usize,
+        f: impl Fn(crate::ids::Coord) -> u8,
+    ) -> Self {
+        let app_of = (0..cfg.num_nodes() as NodeId)
+            .map(|id| f(cfg.coord_of(id)))
+            .collect();
+        Self::new(app_of, num_apps)
+    }
+
+    /// Application assigned to `node` (`APP_NONE` if unassigned).
+    #[inline]
+    pub fn app_of(&self, node: NodeId) -> AppId {
+        self.app_of[node as usize]
+    }
+
+    /// Number of applications.
+    #[inline]
+    pub fn num_apps(&self) -> usize {
+        self.num_apps
+    }
+
+    /// Nodes assigned to application `app`.
+    pub fn nodes_of(&self, app: AppId) -> Vec<NodeId> {
+        self.app_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == app)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// Is a packet of application `app` native traffic at `node`?
+    ///
+    /// Unassigned routers (`APP_NONE`) treat everything as native, so no
+    /// prioritization discriminates there.
+    #[inline]
+    pub fn is_native(&self, node: NodeId, app: AppId) -> bool {
+        let tag = self.app_of[node as usize];
+        tag == APP_NONE || tag == app
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.app_of.len()
+    }
+
+    /// True when the map covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.app_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::table1()
+    }
+
+    #[test]
+    fn halves_split_correctly() {
+        let m = RegionMap::halves(&cfg());
+        assert_eq!(m.num_apps(), 2);
+        assert_eq!(m.app_of(0), 0); // (0,0) left
+        assert_eq!(m.app_of(7), 1); // (7,0) right
+        assert_eq!(m.nodes_of(0).len(), 32);
+        assert_eq!(m.nodes_of(1).len(), 32);
+    }
+
+    #[test]
+    fn quadrants_cover_all() {
+        let m = RegionMap::quadrants(&cfg());
+        assert_eq!(m.num_apps(), 4);
+        for app in 0..4 {
+            assert_eq!(m.nodes_of(app).len(), 16, "app {app}");
+        }
+        let c = cfg();
+        assert_eq!(m.app_of(c.node_at(crate::ids::Coord { x: 0, y: 0 })), 0);
+        assert_eq!(m.app_of(c.node_at(crate::ids::Coord { x: 7, y: 0 })), 1);
+        assert_eq!(m.app_of(c.node_at(crate::ids::Coord { x: 0, y: 7 })), 2);
+        assert_eq!(m.app_of(c.node_at(crate::ids::Coord { x: 7, y: 7 })), 3);
+    }
+
+    #[test]
+    fn six_regions_partition() {
+        let m = RegionMap::six_regions(&cfg());
+        assert_eq!(m.num_apps(), 6);
+        let total: usize = (0..6).map(|a| m.nodes_of(a).len()).sum();
+        assert_eq!(total, 64);
+        // Top band is 3 rows of 4 columns = 12 nodes per region.
+        assert_eq!(m.nodes_of(0).len(), 12);
+        assert_eq!(m.nodes_of(1).len(), 12);
+        // Middle band is 2 rows = 8 nodes.
+        assert_eq!(m.nodes_of(2).len(), 8);
+        assert_eq!(m.nodes_of(3).len(), 8);
+        assert_eq!(m.nodes_of(4).len(), 12);
+        assert_eq!(m.nodes_of(5).len(), 12);
+    }
+
+    #[test]
+    fn grid_2x2_equals_quadrants() {
+        let g = RegionMap::grid(&cfg(), 2, 2);
+        let q = RegionMap::quadrants(&cfg());
+        assert_eq!(g, q);
+    }
+
+    #[test]
+    fn native_classification() {
+        let m = RegionMap::halves(&cfg());
+        assert!(m.is_native(0, 0));
+        assert!(!m.is_native(0, 1));
+        assert!(m.is_native(7, 1));
+        assert!(!m.is_native(7, 0));
+    }
+
+    #[test]
+    fn unassigned_treats_all_native() {
+        let mut v = vec![0u8; 4];
+        v[3] = APP_NONE;
+        let m = RegionMap::new(v, 1);
+        assert!(m.is_native(3, 0));
+        assert!(m.is_native(3, 77));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range app")]
+    fn rejects_out_of_range() {
+        RegionMap::new(vec![2], 2);
+    }
+}

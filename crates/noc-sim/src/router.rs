@@ -1,0 +1,285 @@
+//! The pipelined virtual-channel router.
+//!
+//! State only — the pipeline stages themselves are driven by
+//! [`crate::network::Network`], which owns all routers and moves flits
+//! between them. Each router holds:
+//!
+//! * per-input-port VC buffers and their pipeline state,
+//! * output-VC allocation table and credit counters toward downstream,
+//! * rotating-arbiter pointers for VA_out, SA_in and SA_out,
+//! * the DPA occupancy registers (`OVC_n`, `OVC_f`) and the hysteresis
+//!   priority bit of §IV.C — maintained generically, consumed by the RAIR
+//!   policy.
+
+use crate::config::SimConfig;
+use crate::ids::{AppId, Coord, NodeId, Port, APP_NONE, NUM_PORTS, PORT_LOCAL};
+use crate::vc::{InputVc, VcState};
+
+/// A single mesh router.
+#[derive(Debug)]
+pub struct Router {
+    /// Node id this router serves.
+    pub id: NodeId,
+    /// Mesh coordinate.
+    pub coord: Coord,
+    /// Region tag: the application assigned to this tile (`APP_NONE` if
+    /// unassigned). Packets whose app matches are native traffic here.
+    pub app: AppId,
+
+    /// Input VCs, `inputs[port][vc]`.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// Holder application of each input VC (set at head arrival, cleared at
+    /// tail departure) — lets occupancy counting classify VCs whose flits
+    /// have all moved downstream while the packet still owns the VC.
+    pub holder: Vec<Vec<Option<AppId>>>,
+    /// Output-VC allocation: `out_alloc[port][vc] = Some((in_port, in_vc))`
+    /// while a packet holds the output VC.
+    pub out_alloc: Vec<Vec<Option<(Port, usize)>>>,
+    /// Credits toward the downstream input VC, `credits[port][vc]`.
+    /// The local (ejection) port has effectively infinite credit.
+    pub credits: Vec<Vec<usize>>,
+
+    /// VA_out rotating pointer, one per output VC (flattened `port*V+vc`),
+    /// rotating over input-VC keys (flattened `in_port*V+in_vc`).
+    pub va_ptr: Vec<usize>,
+    /// SA_in rotating pointer per input port (over VC indices).
+    pub sa_in_ptr: Vec<usize>,
+    /// SA_out rotating pointer per output port (over input-port indices).
+    pub sa_out_ptr: Vec<usize>,
+
+    /// DPA register: occupied VCs holding native traffic (previous cycle).
+    pub ovc_native: u32,
+    /// DPA register: occupied VCs holding foreign traffic (previous cycle).
+    pub ovc_foreign: u32,
+    /// DPA hysteresis output: `true` = native traffic currently has the
+    /// high priority. Defaults to `false` — foreign-high is the DPA default
+    /// (§IV.C case 3).
+    pub dpa_native_high: bool,
+}
+
+impl Router {
+    /// Create an idle router with full credits.
+    pub fn new(cfg: &SimConfig, id: NodeId, coord: Coord, app: AppId) -> Self {
+        let v = cfg.vcs_per_port();
+        Self {
+            id,
+            coord,
+            app,
+            inputs: (0..NUM_PORTS)
+                .map(|_| (0..v).map(|_| InputVc::new(cfg.vc_depth)).collect())
+                .collect(),
+            holder: vec![vec![None; v]; NUM_PORTS],
+            out_alloc: vec![vec![None; v]; NUM_PORTS],
+            credits: vec![vec![cfg.vc_depth; v]; NUM_PORTS],
+            va_ptr: vec![0; NUM_PORTS * v],
+            sa_in_ptr: vec![0; NUM_PORTS],
+            sa_out_ptr: vec![0; NUM_PORTS],
+            ovc_native: 0,
+            ovc_foreign: 0,
+            dpa_native_high: false,
+        }
+    }
+
+    /// Is `app` native traffic at this router? Unassigned routers treat all
+    /// traffic as native (no discrimination).
+    #[inline]
+    pub fn is_native(&self, app: AppId) -> bool {
+        self.app == APP_NONE || self.app == app
+    }
+
+    /// Can output VC `(port, vc)` be allocated to a new packet? Atomic VCs
+    /// (Table 1) are only reallocated when the downstream buffer is fully
+    /// drained (all credits returned) and the previous holder released it.
+    #[inline]
+    pub fn out_vc_allocatable(&self, cfg: &SimConfig, port: Port, vc: usize) -> bool {
+        self.out_alloc[port][vc].is_none()
+            && (port == PORT_LOCAL || self.credits[port][vc] == cfg.vc_depth)
+    }
+
+    /// Is there a credit available to forward one flit on `(port, vc)`?
+    #[inline]
+    pub fn has_credit(&self, port: Port, vc: usize) -> bool {
+        port == PORT_LOCAL || self.credits[port][vc] > 0
+    }
+
+    /// Count occupied input VCs, split into (native, foreign) with respect
+    /// to this router's region tag. Feeds the DPA registers: the paper
+    /// counts *all* VCs in the router, not just one port, to tolerate
+    /// non-uniform per-port status (§IV.C).
+    pub fn count_occupancy(&self) -> (u32, u32) {
+        let mut native = 0;
+        let mut foreign = 0;
+        for (port, vcs) in self.inputs.iter().enumerate() {
+            for (vc, ivc) in vcs.iter().enumerate() {
+                if !ivc.occupied() {
+                    continue;
+                }
+                let app = self.holder[port][vc].or_else(|| ivc.holder_app());
+                if let Some(a) = app {
+                    if self.is_native(a) {
+                        native += 1;
+                    } else {
+                        foreign += 1;
+                    }
+                }
+            }
+        }
+        (native, foreign)
+    }
+
+    /// Number of occupied *adaptive* input VCs — the congestion metric
+    /// exported to congestion-aware routing (local and DBAR selection).
+    pub fn adaptive_occupancy(&self, cfg: &SimConfig) -> u16 {
+        let mut n = 0;
+        for vcs in &self.inputs {
+            for vc in cfg.adaptive_vc_range() {
+                if vcs[vc].occupied() {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Occupied adaptive input VCs split by regional/global tag.
+    pub fn tag_occupancy(&self, cfg: &SimConfig) -> (u16, u16) {
+        let mut regional = 0;
+        let mut global = 0;
+        for vcs in &self.inputs {
+            for vc in cfg.adaptive_vc_range() {
+                if vcs[vc].occupied() {
+                    match cfg.vc_class(vc) {
+                        crate::vc::VcClass::Adaptive {
+                            tag: crate::vc::VcTag::Regional,
+                        } => regional += 1,
+                        crate::vc::VcClass::Adaptive {
+                            tag: crate::vc::VcTag::Global,
+                        } => global += 1,
+                        crate::vc::VcClass::Escape { .. } => {}
+                    }
+                }
+            }
+        }
+        (regional, global)
+    }
+
+    /// Total flits buffered in this router's input VCs (conservation checks).
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|vcs| vcs.iter())
+            .map(|vc| vc.buf.len())
+            .sum()
+    }
+
+    /// True when the router holds no packets at all.
+    pub fn is_idle(&self) -> bool {
+        self.inputs
+            .iter()
+            .flat_map(|vcs| vcs.iter())
+            .all(|vc| !vc.occupied() && vc.state == VcState::Idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, FlitKind, PacketInfo};
+
+    fn cfg() -> SimConfig {
+        SimConfig::table1()
+    }
+
+    fn mk() -> Router {
+        let c = cfg();
+        Router::new(&c, 9, c.coord_of(9), 1)
+    }
+
+    fn put_flit(r: &mut Router, port: Port, vc: usize, app: AppId) {
+        r.inputs[port][vc].buf.push_back(Flit {
+            kind: FlitKind::Single,
+            seq: 0,
+            hops: 0,
+            info: PacketInfo {
+                id: 0,
+                src: 0,
+                dst: 9,
+                app,
+                class: 0,
+                size: 1,
+                birth: 0,
+                inject: 0,
+                reply: None,
+            },
+        });
+        r.holder[port][vc] = Some(app);
+    }
+
+    #[test]
+    fn fresh_router_full_credits_and_idle() {
+        let r = mk();
+        let c = cfg();
+        assert!(r.is_idle());
+        for p in 0..NUM_PORTS {
+            for v in 0..c.vcs_per_port() {
+                assert!(r.out_vc_allocatable(&c, p, v));
+                assert!(r.has_credit(p, v));
+            }
+        }
+        assert_eq!(r.count_occupancy(), (0, 0));
+        assert_eq!(r.adaptive_occupancy(&c), 0);
+    }
+
+    #[test]
+    fn native_foreign_occupancy_split() {
+        let mut r = mk();
+        put_flit(&mut r, 1, 1, 1); // native (router app = 1)
+        put_flit(&mut r, 2, 2, 0); // foreign
+        put_flit(&mut r, 3, 3, 2); // foreign
+        assert_eq!(r.count_occupancy(), (1, 2));
+        assert!(!r.is_idle());
+    }
+
+    #[test]
+    fn unassigned_router_counts_all_native() {
+        let c = cfg();
+        let mut r = Router::new(&c, 0, c.coord_of(0), APP_NONE);
+        put_flit(&mut r, 1, 1, 0);
+        put_flit(&mut r, 2, 2, 5);
+        assert_eq!(r.count_occupancy(), (2, 0));
+    }
+
+    #[test]
+    fn atomic_reallocation_gate() {
+        let mut r = mk();
+        let c = cfg();
+        // Simulate a partially drained downstream buffer.
+        r.credits[1][2] = c.vc_depth - 1;
+        assert!(!r.out_vc_allocatable(&c, 1, 2));
+        r.credits[1][2] = c.vc_depth;
+        assert!(r.out_vc_allocatable(&c, 1, 2));
+        r.out_alloc[1][2] = Some((0, 0));
+        assert!(!r.out_vc_allocatable(&c, 1, 2));
+    }
+
+    #[test]
+    fn local_port_always_has_credit() {
+        let mut r = mk();
+        r.credits[PORT_LOCAL][0] = 0;
+        assert!(r.has_credit(PORT_LOCAL, 0));
+        assert!(!{
+            r.credits[1][0] = 0;
+            r.has_credit(1, 0)
+        });
+    }
+
+    #[test]
+    fn adaptive_occupancy_ignores_escape_vcs() {
+        let mut r = mk();
+        let c = cfg();
+        put_flit(&mut r, 1, c.escape_vc(0), 0); // escape VC
+        assert_eq!(r.adaptive_occupancy(&c), 0);
+        put_flit(&mut r, 1, c.adaptive_vc_range().start, 0);
+        assert_eq!(r.adaptive_occupancy(&c), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic dimension-order (XY) routing.
+
+use super::{escape_port, RoutingAlgorithm, SelectCtx};
+use crate::ids::{Coord, Port};
+
+/// Pure XY: the single dimension-order port is offered on the adaptive VCs
+/// as well, so all VCs are usable but no path diversity exists. Inherently
+/// deadlock-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XyRouting;
+
+impl RoutingAlgorithm for XyRouting {
+    fn name(&self) -> &'static str {
+        "XY"
+    }
+
+    fn adaptive_ports(&self, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
+        [Some(escape_port(cur, dst)), None]
+    }
+
+    fn select(&self, _ctx: &SelectCtx<'_>, _cands: &[Port]) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PORT_EAST, PORT_SOUTH};
+
+    #[test]
+    fn single_dor_candidate() {
+        let r = XyRouting;
+        let cur = Coord { x: 0, y: 0 };
+        let dst = Coord { x: 3, y: 3 };
+        assert_eq!(r.adaptive_ports(cur, dst), [Some(PORT_EAST), None]);
+        let cur2 = Coord { x: 3, y: 0 };
+        assert_eq!(r.adaptive_ports(cur2, dst), [Some(PORT_SOUTH), None]);
+    }
+}

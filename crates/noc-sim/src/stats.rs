@@ -1,0 +1,88 @@
+//! Run-level statistics.
+
+use metrics::{LatencyKind, LatencyRecorder};
+
+/// Statistics gathered during a simulation run.
+///
+/// The latency recorder is windowed: [`SimStats::reset_window`] clears it at
+/// the warmup boundary. The flit counters are cumulative for the whole run
+/// and back the flit-conservation invariant checks.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// Per-application latency accumulators (measurement window).
+    pub recorder: LatencyRecorder,
+    /// Packets generated per application (cumulative).
+    pub generated: Vec<u64>,
+    /// Packets injected into the network per application (cumulative).
+    pub injected_packets: Vec<u64>,
+    /// Flits injected into the network (cumulative).
+    pub injected_flits: u64,
+    /// Flits ejected from the network (cumulative).
+    pub ejected_flits: u64,
+    /// Cycle the measurement window started.
+    pub measure_start: u64,
+    /// Last cycle any flit moved through a crossbar or was ejected —
+    /// the deadlock-watchdog signal.
+    pub last_progress: u64,
+}
+
+impl SimStats {
+    pub fn new(num_apps: usize) -> Self {
+        Self {
+            recorder: LatencyRecorder::new(num_apps),
+            generated: vec![0; num_apps],
+            injected_packets: vec![0; num_apps],
+            injected_flits: 0,
+            ejected_flits: 0,
+            measure_start: 0,
+            last_progress: 0,
+        }
+    }
+
+    /// Begin the measurement window at `cycle` (end of warmup).
+    pub fn reset_window(&mut self, cycle: u64) {
+        self.recorder.reset();
+        self.measure_start = cycle;
+    }
+
+    /// Average packet latency of one application over the window.
+    pub fn apl(&self, app: usize, kind: LatencyKind) -> Option<f64> {
+        self.recorder.app(app).mean(kind)
+    }
+
+    /// Delivered-flit throughput in flits/cycle/node over the window.
+    pub fn throughput(&self, now: u64, num_nodes: usize) -> f64 {
+        let cycles = now.saturating_sub(self.measure_start).max(1);
+        self.recorder.flits_delivered() as f64 / cycles as f64 / num_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_reset_keeps_cumulative_counters() {
+        let mut s = SimStats::new(2);
+        s.generated[0] = 10;
+        s.injected_flits = 50;
+        s.recorder.record(0, 10, 12, 3, 1);
+        s.reset_window(1000);
+        assert_eq!(s.generated[0], 10);
+        assert_eq!(s.injected_flits, 50);
+        assert_eq!(s.recorder.delivered(), 0);
+        assert_eq!(s.measure_start, 1000);
+    }
+
+    #[test]
+    fn throughput_accounts_window() {
+        let mut s = SimStats::new(1);
+        s.reset_window(100);
+        for _ in 0..64 {
+            s.recorder.record(0, 10, 10, 1, 5);
+        }
+        // 320 flits over 100 cycles on 64 nodes = 0.05 flits/cycle/node.
+        let t = s.throughput(200, 64);
+        assert!((t - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual-channel state: classification tags and the per-input-VC state
+//! machine driven by the router pipeline.
+
+use crate::flit::Flit;
+use crate::ids::Port;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The 1-bit regional/global tag of §IV.A (VC regionalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcTag {
+    /// Regional VC: native-vs-foreign priority decided dynamically by DPA.
+    Regional,
+    /// Global VC: foreign traffic always has priority over native traffic.
+    Global,
+}
+
+/// Functional class of a VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcClass {
+    /// Escape VC of one message class; restricted to dimension-order routing
+    /// so the escape sub-network is deadlock-free (Duato's theory).
+    Escape { class: crate::ids::MsgClass },
+    /// Fully-adaptive VC carrying the regional/global tag.
+    Adaptive { tag: VcTag },
+}
+
+impl VcClass {
+    /// The regional/global tag if this is an adaptive VC.
+    pub fn tag(&self) -> Option<VcTag> {
+        match self {
+            VcClass::Adaptive { tag } => Some(*tag),
+            VcClass::Escape { .. } => None,
+        }
+    }
+}
+
+/// Pipeline state of an input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet allocated to this VC.
+    Idle,
+    /// Head flit arrived; route computation done, waiting for VC allocation.
+    /// Holds the candidate adaptive output ports (up to two minimal
+    /// productive directions in a mesh) and the escape (DOR) port.
+    Routed {
+        adaptive: [Option<Port>; 2],
+        escape: Port,
+    },
+    /// Output VC allocated; flits compete in switch allocation.
+    Active { out_port: Port, out_vc: usize },
+}
+
+/// One input virtual channel: a flit FIFO plus pipeline state.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    pub buf: VecDeque<Flit>,
+    pub state: VcState,
+}
+
+impl InputVc {
+    pub fn new(depth: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(depth),
+            state: VcState::Idle,
+        }
+    }
+
+    /// Occupied = holds at least one flit or is allocated to an in-flight
+    /// packet (its flits may all have moved on while the tail hasn't been
+    /// received yet).
+    #[inline]
+    pub fn occupied(&self) -> bool {
+        !self.buf.is_empty() || self.state != VcState::Idle
+    }
+
+    /// Application of the packet currently holding this VC, if any.
+    #[inline]
+    pub fn holder_app(&self) -> Option<crate::ids::AppId> {
+        self.buf.front().map(|f| f.info.app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketInfo};
+
+    fn flit() -> Flit {
+        Flit {
+            kind: FlitKind::Single,
+            seq: 0,
+            hops: 0,
+            info: PacketInfo {
+                id: 0,
+                src: 0,
+                dst: 1,
+                app: 3,
+                class: 0,
+                size: 1,
+                birth: 0,
+                inject: 0,
+                reply: None,
+            },
+        }
+    }
+
+    #[test]
+    fn fresh_vc_is_idle_and_unoccupied() {
+        let vc = InputVc::new(5);
+        assert_eq!(vc.state, VcState::Idle);
+        assert!(!vc.occupied());
+        assert!(vc.holder_app().is_none());
+    }
+
+    #[test]
+    fn buffered_flit_marks_occupied() {
+        let mut vc = InputVc::new(5);
+        vc.buf.push_back(flit());
+        assert!(vc.occupied());
+        assert_eq!(vc.holder_app(), Some(3));
+    }
+
+    #[test]
+    fn active_empty_vc_still_occupied() {
+        let mut vc = InputVc::new(5);
+        vc.state = VcState::Active {
+            out_port: 1,
+            out_vc: 0,
+        };
+        assert!(vc.occupied());
+    }
+
+    #[test]
+    fn tag_accessor() {
+        assert_eq!(
+            VcClass::Adaptive {
+                tag: VcTag::Regional
+            }
+            .tag(),
+            Some(VcTag::Regional)
+        );
+        assert_eq!(VcClass::Escape { class: 0 }.tag(), None);
+    }
+}

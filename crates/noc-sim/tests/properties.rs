@@ -1,0 +1,195 @@
+//! Property-based tests of the simulator substrate.
+
+use noc_sim::arbitration::arbitrate_rr;
+use noc_sim::network::Network;
+use noc_sim::prelude::*;
+use proptest::prelude::*;
+
+fn scripted_net(
+    events: Vec<(u64, NodeId, NewPacket)>,
+    routing: Routing,
+    seed: u64,
+) -> Network {
+    let cfg = SimConfig::table1();
+    let r: Box<dyn RoutingAlgorithm> = match routing {
+        Routing::Xy => Box::new(XyRouting),
+        Routing::Local => Box::new(DuatoLocalAdaptive),
+        Routing::Dbar => Box::new(DbarAdaptive),
+    };
+    Network::new(
+        cfg,
+        RegionMap::single(&SimConfig::table1()),
+        r,
+        Box::new(RoundRobin),
+        Box::new(ScriptedSource::new(1, events)),
+        seed,
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Routing {
+    Xy,
+    Local,
+    Dbar,
+}
+
+fn any_routing() -> impl Strategy<Value = Routing> {
+    prop_oneof![Just(Routing::Xy), Just(Routing::Local), Just(Routing::Dbar)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scripted packet is delivered, exactly once, over a route of
+    /// exactly Manhattan length, under every routing algorithm.
+    #[test]
+    fn all_packets_delivered_minimally(
+        routing in any_routing(),
+        pairs in proptest::collection::vec((0u16..64, 0u16..64, 1u32..=5u32), 1..40),
+        seed in 0u64..100,
+    ) {
+        let cfg = SimConfig::table1();
+        let mut events = Vec::new();
+        let mut total_hops = 0u64;
+        let mut count = 0u64;
+        for (i, &(src, dst, size)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            events.push((
+                (i as u64) * 2,
+                src,
+                NewPacket { dst, app: 0, class: 0, size, reply: None },
+            ));
+            total_hops += cfg.coord_of(src).hops_to(cfg.coord_of(dst)) as u64;
+            count += 1;
+        }
+        prop_assume!(count > 0);
+        let mut net = scripted_net(events, routing, seed);
+        net.run(4_000);
+        prop_assert!(net.is_drained(), "{} flits stuck", net.flits_in_network());
+        prop_assert_eq!(net.stats.recorder.delivered(), count);
+        let measured: f64 = net.stats.recorder.app(0).hops.sum();
+        prop_assert_eq!(measured as u64, total_hops, "non-minimal routes taken");
+    }
+
+    /// The rotating arbiter is work-conserving and fair: with equal
+    /// priorities, over `k * n` arbitrations each of `n` persistent
+    /// requestors wins exactly `k` times.
+    #[test]
+    fn arbiter_exact_fairness(n in 1usize..8, k in 1usize..10) {
+        let reqs: Vec<(u64, usize)> = (0..n).map(|i| (1, i)).collect();
+        let mut wins = vec![0usize; n];
+        let mut ptr = 0;
+        for _ in 0..n * k {
+            let w = arbitrate_rr(&reqs, n, &mut ptr).unwrap();
+            wins[reqs[w].1] += 1;
+        }
+        prop_assert!(wins.iter().all(|&w| w == k), "unfair wins {wins:?}");
+    }
+
+    /// Strict priority: the arbiter never picks a lower-priority request.
+    #[test]
+    fn arbiter_never_inverts_priority(
+        reqs in proptest::collection::vec((0u64..5, 0usize..10), 1..10),
+        ptr0 in 0usize..10,
+    ) {
+        // De-duplicate slot keys (hardware has one request per slot).
+        let mut seen = std::collections::HashSet::new();
+        let reqs: Vec<(u64, usize)> =
+            reqs.into_iter().filter(|&(_, k)| seen.insert(k)).collect();
+        prop_assume!(!reqs.is_empty());
+        let max = reqs.iter().map(|r| r.0).max().unwrap();
+        let mut ptr = ptr0;
+        let w = arbitrate_rr(&reqs, 10, &mut ptr).unwrap();
+        prop_assert_eq!(reqs[w].0, max);
+    }
+
+    /// Region grids partition the mesh: every node belongs to exactly one
+    /// region, regions are contiguous rectangles, and `is_native` agrees
+    /// with `app_of`.
+    #[test]
+    fn region_grid_partitions(cols in 1u8..=4, rows in 1u8..=4) {
+        prop_assume!(8 % cols == 0 && 8 % rows == 0);
+        let cfg = SimConfig::table1();
+        let m = RegionMap::grid(&cfg, cols, rows);
+        let napps = (cols * rows) as usize;
+        prop_assert_eq!(m.num_apps(), napps);
+        let total: usize = (0..napps).map(|a| m.nodes_of(a as u8).len()).sum();
+        prop_assert_eq!(total, 64);
+        for node in 0..64u16 {
+            let app = m.app_of(node);
+            prop_assert!((app as usize) < napps);
+            prop_assert!(m.is_native(node, app));
+            prop_assert!(napps == 1 || !m.is_native(node, (app + 1) % napps as u8));
+        }
+        // Every region has the same size (uniform grid).
+        let expect = 64 / napps;
+        for a in 0..napps {
+            prop_assert_eq!(m.nodes_of(a as u8).len(), expect);
+        }
+    }
+
+    /// The VC layout partitions each port: every VC is either the escape VC
+    /// of exactly one class or an adaptive VC with exactly one tag, and the
+    /// regional/global split matches the config.
+    #[test]
+    fn vc_layout_partition(classes in 1usize..=4, adaptive in 1usize..=6, regional in 0usize..=6) {
+        prop_assume!(regional <= adaptive);
+        let mut cfg = SimConfig::table1();
+        cfg.num_classes = classes;
+        cfg.adaptive_vcs = adaptive;
+        cfg.regional_vcs = regional;
+        prop_assert!(cfg.validate().is_ok());
+        let mut escapes = 0;
+        let mut reg = 0;
+        let mut glob = 0;
+        for vc in 0..cfg.vcs_per_port() {
+            match cfg.vc_class(vc) {
+                VcClass::Escape { class } => {
+                    prop_assert_eq!(cfg.escape_vc(class), vc);
+                    escapes += 1;
+                }
+                VcClass::Adaptive { tag: VcTag::Regional } => reg += 1,
+                VcClass::Adaptive { tag: VcTag::Global } => glob += 1,
+            }
+        }
+        prop_assert_eq!(escapes, classes);
+        prop_assert_eq!(reg, regional);
+        prop_assert_eq!(glob, adaptive - regional);
+    }
+
+    /// Request/reply closed loops complete: every scripted request results
+    /// in exactly two deliveries and the network drains.
+    #[test]
+    fn replies_always_complete(
+        pairs in proptest::collection::vec((0u16..64, 0u16..64), 1..15),
+        service in 1u64..200,
+        seed in 0u64..100,
+    ) {
+        let mut events = Vec::new();
+        let mut count = 0u64;
+        for (i, &(src, dst)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            events.push((
+                (i as u64) * 3,
+                src,
+                NewPacket {
+                    dst,
+                    app: 0,
+                    class: 0,
+                    size: 1,
+                    reply: Some(ReplySpec { service_latency: service, size: 5, class: 0 }),
+                },
+            ));
+            count += 1;
+        }
+        prop_assume!(count > 0);
+        let mut net = scripted_net(events, Routing::Local, seed);
+        net.run(6_000);
+        prop_assert!(net.is_drained());
+        prop_assert_eq!(net.stats.recorder.delivered(), count * 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic Priority Adaptation (DPA) — §IV.C of the paper.
+//!
+//! DPA decides, per router and per cycle, whether *native* or *foreign*
+//! traffic has the higher priority. It estimates relative intensity from
+//! the number of occupied VCs across the whole router (`OVC_n`, `OVC_f` —
+//! all ports, to tolerate non-uniform per-port status) and applies a
+//! hysteresis band of width ±Δ around the ratio `r = OVC_f / OVC_n` (Fig. 7):
+//!
+//! * native priority goes **high** only once `r > 1 + Δ`,
+//! * native priority goes **low** only once `r < 1 − Δ`,
+//! * in between, the previous priority is kept.
+//!
+//! Foreign-high is the default (case 3 of §IV.C: the global nature of
+//! foreign traffic implies higher criticality until native intensity
+//! evidence overrides it). The paper reports Δ between 0.1 and 0.3 works,
+//! with ≈0.2 best — our [`DEFAULT_DELTA`].
+//!
+//! Starvation freedom (§IV.D) follows from the negative feedback: if native
+//! traffic hoards VCs, `r` collapses and natives drop to low priority, and
+//! symmetrically for foreign traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's recommended hysteresis width.
+pub const DEFAULT_DELTA: f64 = 0.2;
+
+/// How the native/foreign priority is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DpaMode {
+    /// Full DPA: hysteresis ratio comparison (the paper's mechanism).
+    Dynamic {
+        /// Hysteresis width Δ.
+        delta: f64,
+    },
+    /// Ablation `RAIR_NativeH`: native traffic always has high priority.
+    FixedNativeHigh,
+    /// Ablation `RAIR_ForeignH`: foreign traffic always has high priority.
+    FixedForeignHigh,
+}
+
+impl Default for DpaMode {
+    fn default() -> Self {
+        DpaMode::Dynamic {
+            delta: DEFAULT_DELTA,
+        }
+    }
+}
+
+impl DpaMode {
+    /// Convenience constructor for the default dynamic mode.
+    pub fn dynamic() -> Self {
+        Self::default()
+    }
+
+    /// Next value of the `native_high` priority bit, given the occupancy
+    /// registers of the current cycle.
+    pub fn next_native_high(&self, prev_native_high: bool, ovc_n: u32, ovc_f: u32) -> bool {
+        match *self {
+            DpaMode::FixedNativeHigh => true,
+            DpaMode::FixedForeignHigh => false,
+            DpaMode::Dynamic { delta } => {
+                if ovc_n == 0 && ovc_f == 0 {
+                    return prev_native_high;
+                }
+                if ovc_n == 0 {
+                    // r = ∞ > 1 + Δ: native goes (or stays) high. Harmless —
+                    // there is no native traffic to prioritize anyway.
+                    return true;
+                }
+                let r = ovc_f as f64 / ovc_n as f64;
+                if r > 1.0 + delta {
+                    true
+                } else if r < 1.0 - delta {
+                    false
+                } else {
+                    prev_native_high
+                }
+            }
+        }
+    }
+
+    /// Short suffix for scheme names in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DpaMode::Dynamic { .. } => "DPA",
+            DpaMode::FixedNativeHigh => "NativeH",
+            DpaMode::FixedForeignHigh => "ForeignH",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: DpaMode = DpaMode::Dynamic { delta: 0.2 };
+
+    #[test]
+    fn transitions_match_fig7() {
+        // Starting low (foreign high), r must exceed 1+Δ to flip.
+        assert!(!D.next_native_high(false, 10, 11)); // r = 1.1 < 1.2
+        assert!(!D.next_native_high(false, 10, 12)); // r = 1.2, not >
+        assert!(D.next_native_high(false, 10, 13)); // r = 1.3 > 1.2 → high
+
+        // Starting high, r must drop below 1−Δ to flip back.
+        assert!(D.next_native_high(true, 10, 9)); // r = 0.9 > 0.8
+        assert!(D.next_native_high(true, 10, 8)); // r = 0.8, not <
+        assert!(!D.next_native_high(true, 10, 7)); // r = 0.7 < 0.8 → low
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_state() {
+        for (n, f) in [(10, 10), (10, 11), (10, 9)] {
+            assert!(!D.next_native_high(false, n, f), "({n},{f}) from low");
+            assert!(D.next_native_high(true, n, f), "({n},{f}) from high");
+        }
+    }
+
+    #[test]
+    fn empty_router_keeps_state() {
+        assert!(!D.next_native_high(false, 0, 0));
+        assert!(D.next_native_high(true, 0, 0));
+    }
+
+    #[test]
+    fn no_native_occupancy_goes_high() {
+        assert!(D.next_native_high(false, 0, 3));
+    }
+
+    #[test]
+    fn fixed_modes_ignore_occupancy() {
+        assert!(DpaMode::FixedNativeHigh.next_native_high(false, 0, 100));
+        assert!(!DpaMode::FixedForeignHigh.next_native_high(true, 100, 0));
+    }
+
+    #[test]
+    fn negative_feedback_self_throttles() {
+        // Simulate natives flooding: foreign ratio collapses → natives lose
+        // priority; then foreigners flooding → natives regain it. No state
+        // is sticky forever (the starvation-freedom argument of §IV.D).
+        let mut high = true;
+        high = D.next_native_high(high, 20, 2); // natives hog: r = 0.1
+        assert!(!high);
+        high = D.next_native_high(high, 2, 20); // foreigners hog: r = 10
+        assert!(high);
+    }
+
+    #[test]
+    fn default_delta_in_papers_range() {
+        assert!((0.1..=0.3).contains(&DEFAULT_DELTA));
+        assert_eq!(DpaMode::default(), DpaMode::Dynamic { delta: 0.2 });
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DpaMode::dynamic().label(), "DPA");
+        assert_eq!(DpaMode::FixedNativeHigh.label(), "NativeH");
+        assert_eq!(DpaMode::FixedForeignHigh.label(), "ForeignH");
+    }
+}

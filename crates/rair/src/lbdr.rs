@@ -1,0 +1,172 @@
+//! LBDR mapping-validity analysis (§III.B of the paper).
+//!
+//! LBDR confines every application's packets inside its region via routing
+//! restrictions, so each region must contain at least one memory controller
+//! (MC) — otherwise the application can never service a cache miss
+//! (Fig. 3(b) is invalid). The paper quantifies how restrictive this is:
+//! with 16 cores, 4 MCs and 4 applications of 4 threads each, only
+//!
+//! ```text
+//! 4!·C(12,3)·C(9,3)·C(6,3)·C(3,3) / (C(16,4)·C(12,4)·C(8,4)·C(4,4)) ≈ 14%
+//! ```
+//!
+//! of application-to-core mappings are usable, and the number of regions can
+//! never exceed the number of MCs. This module reproduces both the exact
+//! count and a sampling estimate, plus the validity predicate itself.
+
+/// Binomial coefficient C(n, k) in exact 128-bit arithmetic.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+/// Is a mapping valid under LBDR? `region_of_core[c]` assigns core `c` to
+/// an application region (`0..num_apps`); `mc_cores` lists which cores host
+/// memory controllers. Valid iff every region contains at least one MC.
+pub fn is_valid_mapping(region_of_core: &[u8], mc_cores: &[usize], num_apps: usize) -> bool {
+    let mut has_mc = vec![false; num_apps];
+    for &c in mc_cores {
+        let r = region_of_core[c] as usize;
+        if r < num_apps {
+            has_mc[r] = true;
+        }
+    }
+    has_mc.iter().all(|&b| b)
+}
+
+/// Exact fraction of valid mappings for the paper's setting: `num_apps`
+/// applications of `threads` threads each on `num_apps * threads` cores,
+/// with `num_apps` MCs on distinct fixed cores (so "≥1 MC per region"
+/// forces exactly one MC per region).
+///
+/// Numerator: assign MCs to distinct regions (`num_apps!`), then fill each
+/// region's remaining `threads-1` slots from the non-MC cores. Denominator:
+/// all ways to partition the cores into labeled regions of size `threads`.
+pub fn exact_valid_fraction(num_apps: u64, threads: u64) -> f64 {
+    let cores = num_apps * threads;
+    let non_mc = cores - num_apps;
+    let mut numer: u128 = (1..=num_apps as u128).product(); // num_apps!
+    let mut remaining = non_mc;
+    for _ in 0..num_apps {
+        numer *= binomial(remaining, threads - 1);
+        remaining -= threads - 1;
+    }
+    let mut denom: u128 = 1;
+    let mut rem = cores;
+    for _ in 0..num_apps {
+        denom *= binomial(rem, threads);
+        rem -= threads;
+    }
+    numer as f64 / denom as f64
+}
+
+/// Monte-Carlo estimate of the valid fraction, sampling uniformly random
+/// partitions of `num_apps*threads` cores into labeled regions of size
+/// `threads` with the MCs fixed on cores `0..num_apps`.
+pub fn sampled_valid_fraction(
+    num_apps: usize,
+    threads: usize,
+    samples: usize,
+    rng: &mut impl rand::Rng,
+) -> f64 {
+    let cores = num_apps * threads;
+    let mc_cores: Vec<usize> = (0..num_apps).collect();
+    let mut perm: Vec<usize> = (0..cores).collect();
+    let mut valid = 0usize;
+    let mut region_of = vec![0u8; cores];
+    for _ in 0..samples {
+        // Fisher–Yates shuffle, then chunk into regions.
+        for i in (1..cores).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        for (slot, &core) in perm.iter().enumerate() {
+            region_of[core] = (slot / threads) as u8;
+        }
+        if is_valid_mapping(&region_of, &mc_cores, num_apps) {
+            valid += 1;
+        }
+    }
+    valid as f64 / samples as f64
+}
+
+/// LBDR's structural region limit: the number of regions can be at most the
+/// number of memory controllers (e.g. at most 4 regions on Intel's 48-core
+/// SCC with its 4 MCs).
+pub fn max_regions(num_mcs: usize) -> usize {
+    num_mcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(16, 4), 1820);
+        assert_eq!(binomial(12, 3), 220);
+        assert_eq!(binomial(9, 3), 84);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(3, 3), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(0, 0), 1);
+    }
+
+    #[test]
+    fn paper_fraction_is_about_14_percent() {
+        let f = exact_valid_fraction(4, 4);
+        // 8,870,400 / 63,063,000 ≈ 0.1407
+        assert!((f - 0.1407).abs() < 0.001, "got {f}");
+    }
+
+    #[test]
+    fn sampling_agrees_with_exact() {
+        let mut rng = SmallRng::seed_from_u64(12345);
+        let est = sampled_valid_fraction(4, 4, 200_000, &mut rng);
+        let exact = exact_valid_fraction(4, 4);
+        assert!(
+            (est - exact).abs() < 0.005,
+            "sampled {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn validity_predicate() {
+        // 4 cores, 2 apps of 2 threads, MCs on cores 0 and 1.
+        let mcs = [0usize, 1];
+        // Both MCs in app 0's region → app 1 starves: invalid.
+        assert!(!is_valid_mapping(&[0, 0, 1, 1], &mcs, 2));
+        // One MC per region: valid.
+        assert!(is_valid_mapping(&[0, 1, 0, 1], &mcs, 2));
+        assert!(is_valid_mapping(&[1, 0, 1, 0], &mcs, 2));
+    }
+
+    #[test]
+    fn trivial_single_region_always_valid() {
+        assert!((exact_valid_fraction(1, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scc_region_limit() {
+        // Intel SCC: 4 MCs → at most 4 regions under LBDR.
+        assert_eq!(max_regions(4), 4);
+    }
+
+    #[test]
+    fn more_apps_more_restrictive() {
+        // Keeping 16 threads total, more regions → smaller valid fraction.
+        let f2 = exact_valid_fraction(2, 8);
+        let f4 = exact_valid_fraction(4, 4);
+        let f8 = exact_valid_fraction(8, 2);
+        assert!(f2 > f4 && f4 > f8, "{f2} {f4} {f8}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # rair — Region-Aware Interference Reduction
+//!
+//! The primary contribution of *"RAIR: Interference Reduction in
+//! Regionalized Networks-on-Chip"* (Chen, Hwang, Pinkston — IPDPS 2013),
+//! implemented as a priority policy for the `noc-sim` router pipeline.
+//!
+//! RAIR reduces interference between concurrently running applications on a
+//! regionalized NoC **without restricting traffic patterns**, through three
+//! cooperating mechanisms:
+//!
+//! 1. **VC regionalization** ([`msp`], [`policy`]) — virtual channels carry
+//!    a 1-bit regional/global tag. Any traffic may use any VC, but global
+//!    VCs always prioritize foreign (inter-region) traffic, while regional
+//!    VCs follow the dynamic priority. No VC is ever idled by the scheme.
+//! 2. **Multi-stage prioritization** ([`msp::MspConfig`]) — the priority is
+//!    enforced at VA_out, SA_in and SA_out (VA_in has no flow contention),
+//!    configurably per stage for the Fig. 9 ablation.
+//! 3. **Dynamic priority adaptation** ([`dpa::DpaMode`]) — per-router
+//!    occupancy registers `OVC_n`/`OVC_f` plus a ±Δ hysteresis on their
+//!    ratio decide whether native or foreign traffic is prioritized,
+//!    yielding starvation freedom through negative feedback.
+//!
+//! The crate also ships the named scheme/routing matrix of the paper's
+//! evaluation ([`scheme`]) and the LBDR mapping-validity analysis of §III
+//! ([`lbdr`]).
+//!
+//! ```
+//! use rair::prelude::*;
+//!
+//! let scheme = Scheme::rair();
+//! let policy = scheme.build(); // Box<dyn PriorityPolicy> for Network::new
+//! assert_eq!(policy.name(), "RA_RAIR");
+//! ```
+
+pub mod dpa;
+pub mod lbdr;
+pub mod msp;
+pub mod policy;
+pub mod scheme;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::dpa::{DpaMode, DEFAULT_DELTA};
+    pub use crate::msp::MspConfig;
+    pub use crate::policy::RairPolicy;
+    pub use crate::scheme::{Routing, Scheme};
+}

@@ -1,0 +1,82 @@
+//! Multi-Stage Prioritization (MSP) — §IV.B of the paper.
+//!
+//! MSP enforces the region-aware priority at the arbitration steps where
+//! traffic flows actually contend:
+//!
+//! * **VA_in** — untouched: each input VC arbitrates independently, flows
+//!   do not contend, so MSP adds nothing (and costs nothing) there.
+//! * **VA_out** — the VC-regionalization priority: global output VCs always
+//!   favor foreign traffic; regional output VCs follow DPA.
+//! * **SA_in / SA_out** — the DPA priority between native and foreign.
+//!
+//! The stages are individually switchable to reproduce the Fig. 9 ablation
+//! (`RAIR_VA` vs `RAIR_VA+SA`).
+
+use serde::{Deserialize, Serialize};
+
+/// Which arbitration steps enforce the region-aware priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MspConfig {
+    /// Apply VC regionalization + DPA priority at VA output arbitration.
+    pub at_va_out: bool,
+    /// Apply DPA priority at both switch-allocation steps (the paper uses
+    /// the *same* DPA priority for VA_out, SA_in and SA_out at any given
+    /// time, so the two SA steps toggle together).
+    pub at_sa: bool,
+}
+
+impl MspConfig {
+    /// Full MSP (`RAIR_VA+SA`) — the complete RAIR configuration.
+    pub fn va_and_sa() -> Self {
+        Self {
+            at_va_out: true,
+            at_sa: true,
+        }
+    }
+
+    /// VA-stage only (`RAIR_VA` in Fig. 9).
+    pub fn va_only() -> Self {
+        Self {
+            at_va_out: true,
+            at_sa: false,
+        }
+    }
+
+    /// No prioritization anywhere — degenerates to round-robin; useful as a
+    /// sanity baseline in tests.
+    pub fn none() -> Self {
+        Self {
+            at_va_out: false,
+            at_sa: false,
+        }
+    }
+
+    /// Short suffix for scheme names in reports.
+    pub fn label(&self) -> &'static str {
+        match (self.at_va_out, self.at_sa) {
+            (true, true) => "VA+SA",
+            (true, false) => "VA",
+            (false, true) => "SA",
+            (false, false) => "none",
+        }
+    }
+}
+
+impl Default for MspConfig {
+    fn default() -> Self {
+        Self::va_and_sa()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_labels() {
+        assert_eq!(MspConfig::va_and_sa().label(), "VA+SA");
+        assert_eq!(MspConfig::va_only().label(), "VA");
+        assert_eq!(MspConfig::none().label(), "none");
+        assert_eq!(MspConfig::default(), MspConfig::va_and_sa());
+    }
+}

@@ -1,0 +1,262 @@
+//! The RAIR priority policy: VC regionalization + MSP + DPA plugged into
+//! the router's arbitration steps (§IV of the paper).
+
+use crate::dpa::DpaMode;
+use crate::msp::MspConfig;
+use noc_sim::arbitration::{ArbReq, ArbStage, PriorityPolicy};
+use noc_sim::router::Router;
+use noc_sim::vc::{VcClass, VcTag};
+
+/// Priority value for the currently favored flow. Low-priority requests get
+/// [`LOW`]; equal-priority requests fall back to round-robin, which is also
+/// the paper's rule among multiple foreign applications.
+const HIGH: u64 = 2;
+const LOW: u64 = 1;
+
+/// Region-Aware Interference Reduction.
+///
+/// * **VC regionalization** (§IV.A): at VA_out, *global* output VCs always
+///   grant foreign traffic priority over native traffic; *regional* output
+///   VCs (and the escape VCs, which we treat like regional ones) follow the
+///   DPA decision.
+/// * **MSP** (§IV.B): the stages enforcing prioritization are configurable;
+///   disabled stages behave as plain round-robin.
+/// * **DPA** (§IV.C): the per-router `native_high` bit maintained with
+///   hysteresis; computed at the end of each cycle from the OVC registers
+///   and consumed the next cycle (the paper's one-cycle delay, §IV.E).
+#[derive(Debug, Clone)]
+pub struct RairPolicy {
+    pub msp: MspConfig,
+    pub dpa: DpaMode,
+}
+
+impl RairPolicy {
+    /// The full RAIR configuration used in the paper's headline results.
+    pub fn full() -> Self {
+        Self {
+            msp: MspConfig::va_and_sa(),
+            dpa: DpaMode::dynamic(),
+        }
+    }
+
+    /// RAIR with custom MSP/DPA settings (for the ablations).
+    pub fn with(msp: MspConfig, dpa: DpaMode) -> Self {
+        Self { msp, dpa }
+    }
+
+    /// DPA priority of a request given the router's current decision bit.
+    #[inline]
+    fn dpa_priority(router: &Router, req: &ArbReq) -> u64 {
+        if req.is_native == router.dpa_native_high {
+            HIGH
+        } else {
+            LOW
+        }
+    }
+}
+
+impl PriorityPolicy for RairPolicy {
+    fn name(&self) -> &'static str {
+        "RA_RAIR"
+    }
+
+    fn priority(
+        &self,
+        stage: ArbStage,
+        router: &Router,
+        out_vc: Option<VcClass>,
+        req: &ArbReq,
+    ) -> u64 {
+        match stage {
+            ArbStage::VaOut => {
+                if !self.msp.at_va_out {
+                    return 0;
+                }
+                match out_vc.expect("VA_out carries the contested VC class") {
+                    // Global VCs: foreign traffic always wins (its global
+                    // nature implies higher criticality).
+                    VcClass::Adaptive {
+                        tag: VcTag::Global,
+                    } => {
+                        if req.is_native {
+                            LOW
+                        } else {
+                            HIGH
+                        }
+                    }
+                    // Regional VCs and escape VCs: DPA decides.
+                    _ => Self::dpa_priority(router, req),
+                }
+            }
+            ArbStage::SaIn | ArbStage::SaOut => {
+                if !self.msp.at_sa {
+                    return 0;
+                }
+                Self::dpa_priority(router, req)
+            }
+        }
+    }
+
+    fn update_router(&self, router: &mut Router, _cycle: u64) {
+        router.dpa_native_high = self.dpa.next_native_high(
+            router.dpa_native_high,
+            router.ovc_native,
+            router.ovc_foreign,
+        );
+    }
+
+    /// Foreign traffic steers toward global VCs where it is guaranteed the
+    /// high priority; native traffic prefers regional VCs.
+    fn vc_tag_preference(&self, _router: &Router, req: &ArbReq) -> Option<VcTag> {
+        Some(if req.is_native {
+            VcTag::Regional
+        } else {
+            VcTag::Global
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::config::SimConfig;
+
+    fn router_with_priority(native_high: bool) -> Router {
+        let cfg = SimConfig::table1();
+        let mut r = Router::new(&cfg, 0, cfg.coord_of(0), 0);
+        r.dpa_native_high = native_high;
+        r
+    }
+
+    fn native() -> ArbReq {
+        ArbReq {
+            app: 0,
+            class: 0,
+            birth: 0,
+            inject: 0,
+            is_native: true,
+        }
+    }
+
+    fn foreign() -> ArbReq {
+        ArbReq {
+            is_native: false,
+            app: 1,
+            ..native()
+        }
+    }
+
+    const GLOBAL: VcClass = VcClass::Adaptive { tag: VcTag::Global };
+    const REGIONAL: VcClass = VcClass::Adaptive {
+        tag: VcTag::Regional,
+    };
+    const ESCAPE: VcClass = VcClass::Escape { class: 0 };
+
+    #[test]
+    fn global_vcs_always_favor_foreign() {
+        let p = RairPolicy::full();
+        // Even when DPA currently says native-high.
+        let r = router_with_priority(true);
+        let pf = p.priority(ArbStage::VaOut, &r, Some(GLOBAL), &foreign());
+        let pn = p.priority(ArbStage::VaOut, &r, Some(GLOBAL), &native());
+        assert!(pf > pn);
+    }
+
+    #[test]
+    fn regional_vcs_follow_dpa() {
+        let p = RairPolicy::full();
+        let r = router_with_priority(true);
+        assert!(
+            p.priority(ArbStage::VaOut, &r, Some(REGIONAL), &native())
+                > p.priority(ArbStage::VaOut, &r, Some(REGIONAL), &foreign())
+        );
+        let r = router_with_priority(false);
+        assert!(
+            p.priority(ArbStage::VaOut, &r, Some(REGIONAL), &foreign())
+                > p.priority(ArbStage::VaOut, &r, Some(REGIONAL), &native())
+        );
+    }
+
+    #[test]
+    fn escape_vcs_treated_like_regional() {
+        let p = RairPolicy::full();
+        let r = router_with_priority(true);
+        assert!(
+            p.priority(ArbStage::VaOut, &r, Some(ESCAPE), &native())
+                > p.priority(ArbStage::VaOut, &r, Some(ESCAPE), &foreign())
+        );
+    }
+
+    #[test]
+    fn sa_stages_use_same_dpa_priority() {
+        // §IV.B: the same DPA priority applies to VA_out (regional),
+        // SA_in and SA_out at any given time.
+        let p = RairPolicy::full();
+        let r = router_with_priority(false);
+        for stage in [ArbStage::SaIn, ArbStage::SaOut] {
+            assert!(
+                p.priority(stage, &r, None, &foreign())
+                    > p.priority(stage, &r, None, &native()),
+                "{stage:?}"
+            );
+        }
+        assert_eq!(
+            p.priority(ArbStage::SaIn, &r, None, &foreign()),
+            p.priority(ArbStage::VaOut, &r, Some(REGIONAL), &foreign())
+        );
+    }
+
+    #[test]
+    fn disabled_stages_degrade_to_round_robin() {
+        let p = RairPolicy::with(MspConfig::va_only(), DpaMode::dynamic());
+        let r = router_with_priority(false);
+        assert_eq!(p.priority(ArbStage::SaIn, &r, None, &foreign()), 0);
+        assert_eq!(p.priority(ArbStage::SaIn, &r, None, &native()), 0);
+        // VA still prioritizes.
+        assert!(
+            p.priority(ArbStage::VaOut, &r, Some(GLOBAL), &foreign())
+                > p.priority(ArbStage::VaOut, &r, Some(GLOBAL), &native())
+        );
+
+        let p = RairPolicy::with(MspConfig::none(), DpaMode::dynamic());
+        assert_eq!(p.priority(ArbStage::VaOut, &r, Some(GLOBAL), &foreign()), 0);
+    }
+
+    #[test]
+    fn update_router_applies_hysteresis() {
+        let p = RairPolicy::full();
+        let mut r = router_with_priority(false);
+        r.ovc_native = 10;
+        r.ovc_foreign = 13; // r = 1.3 > 1.2
+        p.update_router(&mut r, 0);
+        assert!(r.dpa_native_high);
+        r.ovc_foreign = 9; // r = 0.9, inside band → keep
+        p.update_router(&mut r, 1);
+        assert!(r.dpa_native_high);
+        r.ovc_foreign = 7; // r = 0.7 < 0.8 → low
+        p.update_router(&mut r, 2);
+        assert!(!r.dpa_native_high);
+    }
+
+    #[test]
+    fn fixed_modes_pin_priority() {
+        let p = RairPolicy::with(MspConfig::va_and_sa(), DpaMode::FixedNativeHigh);
+        let mut r = router_with_priority(false);
+        r.ovc_native = 100;
+        r.ovc_foreign = 0;
+        p.update_router(&mut r, 0);
+        assert!(r.dpa_native_high);
+
+        let p = RairPolicy::with(MspConfig::va_and_sa(), DpaMode::FixedForeignHigh);
+        p.update_router(&mut r, 0);
+        assert!(!r.dpa_native_high);
+    }
+
+    #[test]
+    fn vc_preference_steers_by_origin() {
+        let p = RairPolicy::full();
+        let r = router_with_priority(false);
+        assert_eq!(p.vc_tag_preference(&r, &native()), Some(VcTag::Regional));
+        assert_eq!(p.vc_tag_preference(&r, &foreign()), Some(VcTag::Global));
+    }
+}

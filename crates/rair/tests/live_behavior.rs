@@ -1,0 +1,168 @@
+//! Behavioral tests of the RAIR mechanisms inside a *live* network — the
+//! unit tests in `src/` verify the policy math; these verify the emergent
+//! router behavior the paper describes.
+
+use noc_sim::network::Network;
+use noc_sim::prelude::*;
+use rair::prelude::*;
+
+/// Heavy one-app load on the left half, light foreign stream crossing it.
+fn asymmetric_net(scheme: &Scheme, seed: u64) -> Network {
+    // App 0 native on the left half; app 1 on the right half sends its
+    // traffic INTO the left half (pure foreign load there).
+    let cfg = SimConfig::table1();
+    let region = RegionMap::halves(&cfg);
+
+    struct Src {
+        left: Vec<NodeId>,
+    }
+    impl TrafficSource for Src {
+        fn num_apps(&self) -> usize {
+            2
+        }
+        fn generate(
+            &mut self,
+            node: NodeId,
+            _cycle: u64,
+            rng: &mut rand::rngs::SmallRng,
+        ) -> Option<NewPacket> {
+            use rand::Rng;
+            if self.left.contains(&node) {
+                // Heavy native load inside the left half.
+                if rng.random_bool(0.1) {
+                    let mut dst = self.left[rng.random_range(0..self.left.len())];
+                    if dst == node {
+                        dst = self.left[(rng.random_range(0..self.left.len()) + 1) % self.left.len()];
+                    }
+                    if dst == node {
+                        return None;
+                    }
+                    return Some(NewPacket {
+                        dst,
+                        app: 0,
+                        class: 0,
+                        size: 5,
+                        reply: None,
+                    });
+                }
+            } else if rng.random_bool(0.01) {
+                // Light foreign stream from the right half into the left.
+                let dst = self.left[rng.random_range(0..self.left.len())];
+                return Some(NewPacket {
+                    dst,
+                    app: 1,
+                    class: 0,
+                    size: 1,
+                    reply: None,
+                });
+            }
+            None
+        }
+    }
+
+    let left = region.nodes_of(0);
+    Network::new(
+        cfg,
+        region,
+        Box::new(DuatoLocalAdaptive),
+        scheme.build(),
+        Box::new(Src { left }),
+        seed,
+    )
+}
+
+#[test]
+fn dpa_keeps_foreign_high_when_natives_dominate() {
+    // Left-half routers see native occupancy >> foreign occupancy, so the
+    // DPA bit must stay low (foreign-high) on virtually all of them.
+    let mut net = asymmetric_net(&Scheme::rair(), 5);
+    net.run(5_000);
+    let region = net.region.clone();
+    let left_native_high = net
+        .routers
+        .iter()
+        .filter(|r| region.app_of(r.id) == 0)
+        .filter(|r| r.dpa_native_high)
+        .count();
+    assert!(
+        left_native_high <= 4,
+        "{left_native_high} left-half routers flipped native-high without cause"
+    );
+}
+
+#[test]
+fn ovc_registers_track_traffic_split() {
+    let mut net = asymmetric_net(&Scheme::rair(), 7);
+    net.run(5_000);
+    let region = net.region.clone();
+    // Aggregate native vs foreign occupancy over the left half: native must
+    // dominate (the heavy load is native there).
+    let (mut n, mut f) = (0u64, 0u64);
+    for r in net.routers.iter().filter(|r| region.app_of(r.id) == 0) {
+        n += r.ovc_native as u64;
+        f += r.ovc_foreign as u64;
+    }
+    assert!(n > f, "native occupancy {n} should dominate foreign {f}");
+}
+
+#[test]
+fn foreign_stream_faster_under_rair_than_native_high() {
+    // The crossing foreign stream must be faster under RAIR (foreign-high
+    // by default where natives dominate) than under the NativeH ablation.
+    let apl_foreign = |scheme: &Scheme| {
+        let mut net = asymmetric_net(scheme, 11);
+        net.run_warmup_measure(3_000, 15_000);
+        net.stats
+            .recorder
+            .app(1)
+            .mean(LatencyKind::Network)
+            .expect("foreign stream delivered")
+    };
+    let rair = apl_foreign(&Scheme::rair());
+    let native_h = apl_foreign(&Scheme::rair_native_high());
+    assert!(
+        rair < native_h,
+        "RAIR ({rair:.1}) must serve foreign traffic faster than NativeH ({native_h:.1})"
+    );
+}
+
+#[test]
+fn rair_preserves_throughput() {
+    // Prioritization must not waste bandwidth: total delivered flits under
+    // RAIR within 2% of round-robin (work-conserving arbitration).
+    let delivered = |scheme: &Scheme| {
+        let mut net = asymmetric_net(scheme, 13);
+        net.run_warmup_measure(3_000, 20_000);
+        net.stats.recorder.flits_delivered()
+    };
+    let rr = delivered(&Scheme::RoRr) as f64;
+    let rair = delivered(&Scheme::rair()) as f64;
+    assert!(
+        rair >= rr * 0.98,
+        "RAIR lost throughput: RR {rr} vs RAIR {rair}"
+    );
+}
+
+#[test]
+fn all_schemes_drain_the_asymmetric_workload() {
+    for scheme in [
+        Scheme::RoRr,
+        Scheme::RoAge,
+        Scheme::ro_rank(vec![0.9, 0.01]),
+        Scheme::ro_rank_online(2),
+        Scheme::rair(),
+        Scheme::rair_native_high(),
+        Scheme::rair_foreign_high(),
+    ] {
+        let mut net = asymmetric_net(&scheme, 17);
+        net.run(3_000);
+        // After a long quiet period every scheme must have drained... but
+        // the source never stops; instead check continuous progress.
+        assert!(
+            net.cycles_since_progress() < 50,
+            "{}: stalled for {} cycles",
+            scheme.label(),
+            net.cycles_since_progress()
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Saturation-load measurement.
+//!
+//! The paper expresses every injection rate as a percentage of an
+//! application's *saturation load* (e.g. "App 1 at 90 % of its saturation
+//! load"). The saturation load depends on the traffic pattern, the region
+//! layout and the routing algorithm, so we measure it the way network
+//! architects do: binary-search the offered load for the knee where the
+//! network stops admitting the offered traffic (source queues start growing
+//! without bound).
+
+use crate::scenario::{AppSpec, Scenario, AVG_PACKET_FLITS};
+use noc_sim::arbitration::RoundRobin;
+use noc_sim::config::SimConfig;
+use noc_sim::ids::AppId;
+use noc_sim::network::Network;
+use noc_sim::region::RegionMap;
+use noc_sim::routing::RoutingAlgorithm;
+
+/// Parameters for a saturation search.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationProbe {
+    /// Warmup cycles per trial.
+    pub warmup: u64,
+    /// Measurement cycles per trial.
+    pub measure: u64,
+    /// A trial is *stable* when the end-of-run source backlog is below this
+    /// fraction of the packets offered during the whole trial.
+    pub backlog_fraction: f64,
+    /// A trial is also *unstable* once mean total packet latency exceeds
+    /// this multiple of the zero-load latency. The default is a loose 8x
+    /// guard: the primary criterion is admission (backlog), which matches
+    /// the paper's near-knee "90% of saturation" operating points; tighten
+    /// this for a conservative latency-knee definition instead.
+    pub latency_blowup: f64,
+    /// Binary-search iterations (each halves the interval).
+    pub iters: u32,
+    /// RNG seed for the trials.
+    pub seed: u64,
+}
+
+impl Default for SaturationProbe {
+    fn default() -> Self {
+        Self {
+            warmup: 2_000,
+            measure: 8_000,
+            backlog_fraction: 0.03,
+            latency_blowup: 8.0,
+            iters: 7,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+impl SaturationProbe {
+    /// A faster, coarser probe for tests and quick mode.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 500,
+            measure: 3_000,
+            iters: 5,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generic saturation search: `build(rate)` constructs a fresh network
+/// offering `rate` flits/cycle/node over `active_nodes` nodes. Returns the
+/// highest stable rate found in `(0, max_rate]`.
+pub fn find_saturation(
+    probe: &SaturationProbe,
+    active_nodes: usize,
+    max_rate: f64,
+    mut build: impl FnMut(f64) -> Network,
+) -> f64 {
+    // Zero-load latency reference for the latency-knee criterion.
+    let zero_load = {
+        let mut net = build((0.02 * max_rate).max(1e-3));
+        net.run_warmup_measure(probe.warmup, probe.measure);
+        net.stats
+            .recorder
+            .overall_mean(metrics::LatencyKind::Total)
+            .unwrap_or(20.0)
+    };
+    let stable = |net: &mut Network, rate: f64| -> bool {
+        let total_cycles = probe.warmup + probe.measure;
+        net.run_warmup_measure(probe.warmup, probe.measure.max(total_cycles - probe.warmup));
+        let offered_packets =
+            rate / AVG_PACKET_FLITS * active_nodes as f64 * total_cycles as f64;
+        let backlog_ok =
+            (net.total_backlog() as f64) < probe.backlog_fraction * offered_packets;
+        let latency_ok = net
+            .stats
+            .recorder
+            .overall_mean(metrics::LatencyKind::Total)
+            .is_some_and(|l| l <= probe.latency_blowup * zero_load);
+        backlog_ok && latency_ok
+    };
+    let mut lo = 0.0_f64;
+    let mut hi = max_rate;
+    // Establish that hi is unstable; if even max_rate is stable, return it.
+    {
+        let mut net = build(hi);
+        if stable(&mut net, hi) {
+            return hi;
+        }
+    }
+    for _ in 0..probe.iters {
+        let mid = 0.5 * (lo + hi);
+        let mut net = build(mid);
+        if stable(&mut net, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Saturation load of one application running *alone* with its configured
+/// traffic mix (all other applications silent), under round-robin
+/// arbitration and the given routing algorithm — the per-application
+/// reference the paper's "% of saturation load" figures are based on.
+pub fn app_saturation(
+    probe: &SaturationProbe,
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: AppId,
+    spec: &AppSpec,
+    routing: impl Fn() -> Box<dyn RoutingAlgorithm>,
+) -> f64 {
+    let active = region.nodes_of(app).len();
+    assert!(active > 0, "app {app} has no nodes");
+    find_saturation(probe, active, 1.0, |rate| {
+        let mut specs: Vec<Option<AppSpec>> = vec![None; region.num_apps()];
+        specs[app as usize] = Some(AppSpec {
+            rate_flits: rate,
+            ..spec.clone()
+        });
+        let scenario = Scenario::new(cfg, region, specs);
+        Network::new(
+            cfg.clone(),
+            region.clone(),
+            routing(),
+            Box::new(RoundRobin),
+            Box::new(scenario),
+            probe.seed,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::routing::DuatoLocalAdaptive;
+
+    #[test]
+    fn intra_region_saturation_in_plausible_range() {
+        let cfg = SimConfig::table1();
+        let region = RegionMap::halves(&cfg);
+        let probe = SaturationProbe::quick();
+        let sat = app_saturation(
+            &probe,
+            &cfg,
+            &region,
+            0,
+            &AppSpec::intra_only(0.0),
+            || Box::new(DuatoLocalAdaptive),
+        );
+        // Intra-half UR on a 4x8 region: saturation well inside (0.1, 1.0).
+        assert!(
+            (0.1..0.95).contains(&sat),
+            "implausible saturation load {sat}"
+        );
+    }
+
+    #[test]
+    fn monotone_binary_search_respects_bounds() {
+        // A fake criterion via a real network that is always stable at tiny
+        // rates: the search must return a rate within (0, max].
+        let cfg = SimConfig::table1();
+        let region = RegionMap::single(&cfg);
+        let probe = SaturationProbe {
+            warmup: 200,
+            measure: 500,
+            iters: 3,
+            ..SaturationProbe::default()
+        };
+        let sat = app_saturation(
+            &probe,
+            &cfg,
+            &region,
+            0,
+            &AppSpec::intra_only(0.0),
+            || Box::new(DuatoLocalAdaptive),
+        );
+        assert!(sat > 0.0 && sat <= 1.0);
+    }
+}

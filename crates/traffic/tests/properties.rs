@@ -1,0 +1,130 @@
+//! Property-based tests of the traffic substrate.
+
+use noc_sim::config::SimConfig;
+use noc_sim::region::RegionMap;
+use noc_sim::source::TrafficSource;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use traffic::pattern::Pattern;
+use traffic::scenario::{six_app, two_app, InterDest};
+use traffic::trace::Trace;
+use traffic::workload::{AppModel, ParsecWorkload};
+
+fn any_pattern() -> impl Strategy<Value = Pattern> {
+    let cfg = SimConfig::table1();
+    let spots = Pattern::center_hotspots(&cfg);
+    prop_oneof![
+        Just(Pattern::UniformRandom),
+        Just(Pattern::Transpose),
+        Just(Pattern::BitComplement),
+        Just(Pattern::UniformWithin((0..16).collect())),
+        Just(Pattern::UniformOutside((0..32).collect())),
+        Just(Pattern::Hotspot {
+            spots,
+            bias: 0.5
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every pattern destination is in-bounds and never the source.
+    #[test]
+    fn pattern_destinations_valid(pattern in any_pattern(), src in 0u16..64, seed in 0u64..1000) {
+        let cfg = SimConfig::table1();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            if let Some(d) = pattern.dest(&cfg, src, &mut rng) {
+                prop_assert!(d != src);
+                prop_assert!((d as usize) < cfg.num_nodes());
+            }
+        }
+    }
+
+    /// Scenario generators never emit self-addressed or oversized packets
+    /// and tag packets with the generating node's own application.
+    #[test]
+    fn scenario_packets_well_formed(p in 0.0f64..=1.0, seed in 0u64..500) {
+        let cfg = SimConfig::table1();
+        let (region, mut s) = two_app(&cfg, p, 0.3, 0.3);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for cycle in 0..300 {
+            for node in 0..64u16 {
+                if let Some(pkt) = s.generate(node, cycle, &mut rng) {
+                    prop_assert!(pkt.dst != node);
+                    prop_assert!((pkt.dst as usize) < cfg.num_nodes());
+                    prop_assert_eq!(pkt.app, region.app_of(node));
+                    prop_assert!(pkt.size == 1 || pkt.size == cfg.long_flits);
+                    prop_assert!((pkt.class as usize) < cfg.num_classes);
+                }
+            }
+        }
+    }
+
+    /// Six-app scenarios respect the 75/20/5 mix within tolerance, for any
+    /// inter-destination rule.
+    #[test]
+    fn six_app_mix_fractions(seed in 0u64..200) {
+        let cfg = SimConfig::table1();
+        let (region, mut s) = six_app(&cfg, [0.3; 6], InterDest::OutsideUniform);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (mut intra, mut inter, mut mc) = (0u32, 0u32, 0u32);
+        let corners = cfg.corners();
+        for cycle in 0..4000 {
+            for node in 0..64u16 {
+                if let Some(pkt) = s.generate(node, cycle, &mut rng) {
+                    if pkt.reply.is_some() {
+                        mc += 1;
+                        prop_assert!(corners.contains(&pkt.dst));
+                    } else if region.app_of(pkt.dst) == pkt.app {
+                        intra += 1;
+                    } else {
+                        inter += 1;
+                    }
+                }
+            }
+        }
+        let total = (intra + inter + mc) as f64;
+        prop_assume!(total > 5000.0);
+        // MC-fraction draws can land inside the own region when a corner is
+        // native; intra count absorbs none of those (they carry replies).
+        prop_assert!(((mc as f64 / total) - 0.05).abs() < 0.02);
+        // The inter count excludes inter-region MC requests, so compare
+        // intra against its nominal share.
+        prop_assert!(((intra as f64 / total) - 0.75).abs() < 0.05);
+    }
+
+    /// Workload generation is a pure function of the RNG stream: the same
+    /// seed gives the same packets, a different seed diverges.
+    #[test]
+    fn workload_deterministic(seed in 0u64..500) {
+        let cfg = SimConfig::table1_req_reply();
+        let region = RegionMap::quadrants(&cfg);
+        let collect = |seed: u64| {
+            let mut w = ParsecWorkload::new(&cfg, &region, AppModel::parsec_four());
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut v = Vec::new();
+            for cycle in 0..3000 {
+                for node in 0..64u16 {
+                    if let Some(p) = w.generate(node, cycle, &mut rng) {
+                        v.push((cycle, node, p.dst, p.app));
+                    }
+                }
+            }
+            v
+        };
+        prop_assert_eq!(collect(seed), collect(seed));
+    }
+
+    /// Trace serialization is injective on distinct event streams.
+    #[test]
+    fn trace_bytes_roundtrip(p in 0.0f64..=1.0, seed in 0u64..300) {
+        let cfg = SimConfig::table1();
+        let (_r, s) = two_app(&cfg, p, 0.2, 0.1);
+        let t = Trace::capture(s, 64, 400, seed);
+        let back = Trace::from_bytes(t.to_bytes()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! Congestion heatmap: visualize where interference lives on the chip and
+//! how RAIR reshapes it.
+//!
+//! Renders per-node VC-occupancy heatmaps for the Fig. 8 two-application
+//! scenario (light app on the left half sending inter-region traffic into
+//! the heavily loaded right half), under round-robin and under RAIR, plus a
+//! sparkline of the light application's latency over time.
+//!
+//! ```text
+//! cargo run --release --example congestion_heatmap
+//! ```
+
+use metrics::viz::{heatmap, sparkline};
+use noc_sim::network::Network;
+use noc_sim::prelude::*;
+use rair::prelude::*;
+use traffic::prelude::*;
+
+fn main() {
+    let cfg = SimConfig::table1();
+    for scheme in [Scheme::RoRr, Scheme::rair()] {
+        let (region, scenario) = two_app(&cfg, 1.0, 0.035, 0.33);
+        let mut net = Network::new(
+            cfg.clone(),
+            region,
+            Routing::Local.build(),
+            scheme.build(),
+            Box::new(scenario),
+            42,
+        );
+        net.run(3_000); // warm up into steady state
+
+        // Accumulate occupancy over a window, sampling the latency of the
+        // light application as we go.
+        let mut acc = vec![0.0f64; cfg.num_nodes()];
+        let mut lat_series = Vec::new();
+        let samples = 40;
+        for s in 0..samples {
+            net.stats.reset_window(net.cycle());
+            net.run(500);
+            for (a, &c) in acc.iter_mut().zip(net.congestion_snapshot()) {
+                *a += c as f64;
+            }
+            if s % 2 == 0 {
+                lat_series.push(
+                    net.stats
+                        .recorder
+                        .app(0)
+                        .mean(LatencyKind::Network)
+                        .unwrap_or(0.0),
+                );
+            }
+        }
+
+        println!("=== {} ===", scheme.label());
+        println!(
+            "mean VC occupancy per node (left half: light app; right half: 90%-load app)"
+        );
+        print!("{}", heatmap(&acc, cfg.width as usize));
+        println!(
+            "light app APL over time: {}  (mean {:.1} cycles)\n",
+            sparkline(&lat_series),
+            lat_series.iter().sum::<f64>() / lat_series.len() as f64
+        );
+    }
+    println!("under RAIR the light application's packets cut through the hot");
+    println!("half with priority, so its latency band sits visibly lower while");
+    println!("the occupancy picture stays almost unchanged.");
+}

@@ -1,0 +1,25 @@
+//! # rair-repro
+//!
+//! Umbrella crate for the reproduction of **"RAIR: Interference Reduction in
+//! Regionalized Networks-on-Chip"** (Chen, Hwang, Pinkston — IPDPS 2013).
+//!
+//! This crate re-exports the workspace members so examples and downstream
+//! users get one coherent entry point:
+//!
+//! * [`noc_sim`] — cycle-accurate wormhole virtual-channel NoC simulator
+//!   (the GARNET-equivalent substrate, built from scratch).
+//! * [`rair`] — the paper's contribution: VC regionalization, multi-stage
+//!   prioritization and dynamic priority adaptation, plus baseline schemes.
+//! * [`traffic`] — synthetic traffic patterns, regionalized scenarios and
+//!   PARSEC-like statistical workload models.
+//! * [`metrics`] — latency accounting and report tables.
+//! * [`experiments`] — drivers that regenerate every table and figure of the
+//!   paper's evaluation section.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use experiments;
+pub use metrics;
+pub use noc_sim;
+pub use rair;
+pub use traffic;
