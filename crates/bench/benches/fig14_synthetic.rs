@@ -27,8 +27,7 @@ fn regen_and_time(c: &mut Criterion) {
             b.iter(|| {
                 let cfg = SimConfig::table1();
                 let (region, scenario) = six_app(&cfg, rates, InterDest::OutsideUniform);
-                let mut net =
-                    build_network(&cfg, &region, &scheme, routing, Box::new(scenario), 1);
+                let mut net = build_network(&cfg, &region, &scheme, routing, Box::new(scenario), 1);
                 net.run(TIMED_CYCLES);
                 net.stats.recorder.delivered()
             })

@@ -27,11 +27,24 @@ fn regen_and_time(c: &mut Criterion) {
                 let region = RegionMap::quadrants(&cfg);
                 let w = ParsecWorkload::new(&cfg, &region, AppModel::parsec_four());
                 let mut net = if adversarial {
-                    let adv =
-                        Adversarial::new(w, fig17::ADVERSARIAL_RATE, 64, cfg.long_flits);
-                    build_network(&cfg, &region, &Scheme::rair(), Routing::Local, Box::new(adv), 1)
+                    let adv = Adversarial::new(w, fig17::ADVERSARIAL_RATE, 64, cfg.long_flits);
+                    build_network(
+                        &cfg,
+                        &region,
+                        &Scheme::rair(),
+                        Routing::Local,
+                        Box::new(adv),
+                        1,
+                    )
                 } else {
-                    build_network(&cfg, &region, &Scheme::rair(), Routing::Local, Box::new(w), 1)
+                    build_network(
+                        &cfg,
+                        &region,
+                        &Scheme::rair(),
+                        Routing::Local,
+                        Box::new(w),
+                        1,
+                    )
                 };
                 net.run(TIMED_CYCLES);
                 net.stats.recorder.delivered()

@@ -33,8 +33,53 @@ impl TrafficSource for Flood {
     }
 }
 
+/// A fresh single-region mesh driven by `Flood { rate }` (or idle when
+/// `rate == 0.0`), optionally forced onto the exhaustive-scan tick path.
+fn flood_net(rate: f64, exhaustive: bool) -> Network {
+    let cfg = SimConfig::table1();
+    let source: Box<dyn TrafficSource> = if rate > 0.0 {
+        Box::new(Flood { rate })
+    } else {
+        Box::new(NoTraffic)
+    };
+    let mut net = Network::new(
+        cfg,
+        RegionMap::single(&SimConfig::table1()),
+        Box::new(DuatoLocalAdaptive),
+        Box::new(RoundRobin),
+        source,
+        1,
+    );
+    net.set_force_exhaustive(exhaustive);
+    net
+}
+
+/// Print what the active-set fast path elides at this load.
+fn report_skip(label: &str, rate: f64) {
+    let mut net = flood_net(rate, false);
+    net.run(1_000);
+    let visits = net.cycle() * net.cfg.num_nodes() as u64;
+    eprintln!(
+        "[{label}] {}",
+        metrics::report::kernel_summary(
+            visits * 3,
+            net.stats.router_cycles_skipped,
+            visits,
+            net.stats.state_updates_skipped,
+        )
+    );
+}
+
+/// ~5% and ~80% of this mesh's saturation load, in packets/node/cycle.
+/// Saturation for 5-flit uniform-random traffic on the Table 1 mesh sits
+/// near 0.06 packets/node/cycle.
+const LOW_RATE: f64 = 0.003;
+const HIGH_RATE: f64 = 0.048;
+
 fn micro(c: &mut Criterion) {
     eprintln!("{}", table1::table().render());
+    report_skip("low_load", LOW_RATE);
+    report_skip("high_load", HIGH_RATE);
 
     let mut g = c.benchmark_group("router_micro");
     g.sample_size(20);
@@ -68,6 +113,20 @@ fn micro(c: &mut Criterion) {
             net.stats.recorder.delivered()
         })
     });
+    // The acceptance pair for the active-set fast path: at ~5% of
+    // saturation the fast tick must beat the exhaustive scan by >=2x; at
+    // ~80% load it must stay within 5%.
+    for (label, rate) in [("low_load", LOW_RATE), ("high_load", HIGH_RATE)] {
+        for (mode, exhaustive) in [("fast", false), ("exhaustive", true)] {
+            g.bench_function(&format!("tick_1k_{label}_{mode}"), |b| {
+                b.iter(|| {
+                    let mut net = flood_net(rate, exhaustive);
+                    net.run(1_000);
+                    net.stats.recorder.delivered()
+                })
+            });
+        }
+    }
     g.finish();
 }
 

@@ -173,7 +173,10 @@ fn main() -> ExitCode {
                     let c = figs::curve::run(&ec, pattern, 0.6, 12);
                     emit(&figs::curve::table(&c));
                     if let Some(k) = figs::curve::knee(&c) {
-                        println!("{} knee (3x zero-load) at ~{k:.3} flits/cycle/node\n", c.pattern);
+                        println!(
+                            "{} knee (3x zero-load) at ~{k:.3} flits/cycle/node\n",
+                            c.pattern
+                        );
                     }
                 }
             }
@@ -181,9 +184,9 @@ fn main() -> ExitCode {
             "ablation-vcsplit" => {
                 emit(&figs::ablation::table(&figs::ablation::vc_split_sweep(&ec)))
             }
-            "ablation-rank" => {
-                emit(&figs::ablation::table(&figs::ablation::rank_estimation(&ec)))
-            }
+            "ablation-rank" => emit(&figs::ablation::table(&figs::ablation::rank_estimation(
+                &ec,
+            ))),
             "baselines" => emit(&figs::ablation::table(&figs::ablation::baselines(&ec))),
             other => {
                 eprintln!("unknown experiment {other}\n{USAGE}");
@@ -235,6 +238,7 @@ fn trace_demo(ec: &ExpConfig, path: &str, csv: bool) {
             ec.seed,
         );
         let r = run_one(scheme.label(), net, ec);
+        eprintln!("[{}] {}", r.label, r.kernel_summary());
         let mut row = vec![r.label.clone()];
         row.extend((0..6).map(|a| metrics::report::f2(r.app_apl(a))));
         t.row(row);

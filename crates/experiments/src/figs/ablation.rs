@@ -51,7 +51,8 @@ fn run_rows(
         .into_iter()
         .map(|(label, cfg, scheme)| {
             let ec = *ec;
-            let job: Job = Box::new(move || {
+
+            Job::new(label.clone(), move || {
                 let (region, scenario) = six_app(&cfg, rates, InterDest::OutsideUniform);
                 let net = build_network(
                     &cfg,
@@ -62,8 +63,7 @@ fn run_rows(
                     ec.seed,
                 );
                 run_one(label, net, &ec)
-            });
-            job
+            })
         })
         .collect();
     let results = run_parallel(jobs);
@@ -93,7 +93,11 @@ pub fn delta_sweep(ec: &ExpConfig) -> AblationResult {
             },
         ));
     }
-    run_rows(ec, "Ablation — DPA hysteresis width (six-app UR scenario)", configs)
+    run_rows(
+        ec,
+        "Ablation — DPA hysteresis width (six-app UR scenario)",
+        configs,
+    )
 }
 
 /// Sweep the regional:global adaptive-VC split.

@@ -32,7 +32,7 @@ pub fn run(ec: &ExpConfig, pattern: Pattern, max_rate: f64, steps: usize) -> Cur
             let rate = max_rate * i as f64 / steps as f64;
             let ec = *ec;
             let pattern = pattern.clone();
-            let job: Job = Box::new(move || {
+            let job = Job::new(format!("curve/rate={rate:.3}"), move || {
                 let cfg = SimConfig::table1();
                 let region = RegionMap::single(&cfg);
                 let spec = AppSpec {

@@ -58,11 +58,7 @@ impl Fig12Result {
             .iter()
             .find(|(l, _)| l == label)
             .unwrap_or_else(|| panic!("no scheme {label}"));
-        let per_app: Vec<f64> = apl
-            .iter()
-            .zip(base)
-            .map(|(a, b)| 1.0 - a / b)
-            .collect();
+        let per_app: Vec<f64> = apl.iter().zip(base).map(|(a, b)| 1.0 - a / b).collect();
         per_app.iter().sum::<f64>() / per_app.len() as f64
     }
 }
@@ -90,7 +86,8 @@ pub fn run_variant(ec: &ExpConfig, variant: Variant) -> Fig12Result {
         .map(|(label, scheme)| {
             let ec = *ec;
             let label = label.to_string();
-            let job: Job = Box::new(move || {
+
+            Job::new(label.clone(), move || {
                 let cfg = SimConfig::table1();
                 let (region, scenario) = match variant {
                     Variant::A => four_app_dpa_a(&cfg, low, high),
@@ -105,8 +102,7 @@ pub fn run_variant(ec: &ExpConfig, variant: Variant) -> Fig12Result {
                     ec.seed,
                 );
                 run_one(label, net, &ec)
-            });
-            job
+            })
         })
         .collect();
     let results = run_parallel(jobs);
@@ -124,10 +120,7 @@ pub fn run_variant(ec: &ExpConfig, variant: Variant) -> Fig12Result {
 
 /// Run both variants.
 pub fn run(ec: &ExpConfig) -> (Fig12Result, Fig12Result) {
-    (
-        run_variant(ec, Variant::A),
-        run_variant(ec, Variant::B),
-    )
+    (run_variant(ec, Variant::A), run_variant(ec, Variant::B))
 }
 
 /// Render one variant's table: APL reduction vs RO_RR per app + average.

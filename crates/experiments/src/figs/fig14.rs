@@ -41,14 +41,7 @@ pub fn six_app_rates(ec: &ExpConfig) -> [f64; 6] {
     };
     let mut rates = [0.0; 6];
     for (a, rate) in rates.iter_mut().enumerate() {
-        let sat = cached_saturation(
-            &format!("six/mix/app{a}"),
-            ec,
-            &cfg,
-            &region,
-            a as u8,
-            &mix,
-        );
+        let sat = cached_saturation(&format!("six/mix/app{a}"), ec, &cfg, &region, a as u8, &mix);
         *rate = LOAD_FRACTIONS[a] * sat;
     }
     rates
@@ -100,14 +93,14 @@ pub fn run_with_global(ec: &ExpConfig, pattern_label: &str, global: InterDest) -
             let ec = *ec;
             let label = label.to_string();
             let global = global.clone();
-            let job: Job = Box::new(move || {
+
+            Job::new(label.clone(), move || {
                 let cfg = SimConfig::table1();
                 let (region, scenario) = six_app(&cfg, rates, global);
                 let net =
                     build_network(&cfg, &region, &scheme, routing, Box::new(scenario), ec.seed);
                 run_one(label, net, &ec)
-            });
-            job
+            })
         })
         .collect();
     let results = run_parallel(jobs);
@@ -161,10 +154,7 @@ mod tests {
             pattern: "UR".into(),
             schemes: vec![
                 ("RO_RR".into(), vec![20.0; 6]),
-                (
-                    "RA_RAIR".into(),
-                    vec![18.0, 22.0, 18.0, 18.0, 18.0, 22.0],
-                ),
+                ("RA_RAIR".into(), vec![18.0, 22.0, 18.0, 18.0, 18.0, 22.0]),
             ],
         }
     }

@@ -63,7 +63,7 @@ pub fn run(ec: &ExpConfig) -> Fig17Result {
             let scheme = scheme.clone();
             let models = models.clone();
             let label = format!("{label}{}", if adversarial { "+adv" } else { "" });
-            jobs.push(Box::new(move || {
+            jobs.push(Job::new(label.clone(), move || {
                 let cfg = SimConfig::table1_req_reply();
                 let region = RegionMap::quadrants(&cfg);
                 let workload = ParsecWorkload::new(&cfg, &region, models);
@@ -87,9 +87,7 @@ pub fn run(ec: &ExpConfig) -> Fig17Result {
     for pair in results.chunks(2) {
         let base = &pair[0];
         let adv = &pair[1];
-        let slow: Vec<f64> = (0..4)
-            .map(|a| adv.app_apl(a) / base.app_apl(a))
-            .collect();
+        let slow: Vec<f64> = (0..4).map(|a| adv.app_apl(a) / base.app_apl(a)).collect();
         let avg = slow.iter().sum::<f64>() / slow.len() as f64;
         out.push((base.label.clone(), slow, avg));
     }

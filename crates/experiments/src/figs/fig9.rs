@@ -57,10 +57,7 @@ pub fn p_values(ec: &ExpConfig) -> Vec<f64> {
 
 /// Generic two-application sweep over (label, scheme, routing) series —
 /// shared by Figures 9 and 10.
-pub(crate) fn sweep(
-    ec: &ExpConfig,
-    series_defs: &[(&str, Scheme, Routing)],
-) -> SweepResult {
+pub(crate) fn sweep(ec: &ExpConfig, series_defs: &[(&str, Scheme, Routing)]) -> SweepResult {
     let (rate0, rate1) = two_app_rates(ec);
     let ps = p_values(ec);
     let mut jobs: Vec<Job> = Vec::new();
@@ -69,17 +66,11 @@ pub(crate) fn sweep(
             let ec = *ec;
             let scheme = scheme.clone();
             let label = label.to_string();
-            jobs.push(Box::new(move || {
+            jobs.push(Job::new(format!("{label}/p={p}"), move || {
                 let cfg = SimConfig::table1();
                 let (region, scenario) = two_app(&cfg, p, rate0, rate1);
-                let net = build_network(
-                    &cfg,
-                    &region,
-                    &scheme,
-                    routing,
-                    Box::new(scenario),
-                    ec.seed,
-                );
+                let net =
+                    build_network(&cfg, &region, &scheme, routing, Box::new(scenario), ec.seed);
                 run_one(label, net, &ec)
             }));
         }
@@ -146,15 +137,27 @@ mod tests {
                 (
                     "RO_RR".into(),
                     vec![
-                        TwoAppPoint { p: 0.0, apl: [18.0, 25.0] },
-                        TwoAppPoint { p: 1.0, apl: [37.0, 32.0] },
+                        TwoAppPoint {
+                            p: 0.0,
+                            apl: [18.0, 25.0],
+                        },
+                        TwoAppPoint {
+                            p: 1.0,
+                            apl: [37.0, 32.0],
+                        },
                     ],
                 ),
                 (
                     "RAIR_VA+SA".into(),
                     vec![
-                        TwoAppPoint { p: 0.0, apl: [18.0, 25.0] },
-                        TwoAppPoint { p: 1.0, apl: [28.0, 33.0] },
+                        TwoAppPoint {
+                            p: 0.0,
+                            apl: [18.0, 25.0],
+                        },
+                        TwoAppPoint {
+                            p: 1.0,
+                            apl: [28.0, 33.0],
+                        },
                     ],
                 ),
             ],

@@ -34,14 +34,15 @@ use traffic::scenario::AppSpec;
 pub(crate) fn two_app_rates(ec: &ExpConfig) -> (f64, f64) {
     let cfg = SimConfig::table1();
     let region = RegionMap::halves(&cfg);
-    let sat = 0.9 * cached_saturation(
-        "halves/intra",
-        ec,
-        &cfg,
-        &region,
-        0,
-        &AppSpec::intra_only(0.0),
-    );
+    let sat = 0.9
+        * cached_saturation(
+            "halves/intra",
+            ec,
+            &cfg,
+            &region,
+            0,
+            &AppSpec::intra_only(0.0),
+        );
     (0.10 * sat, 0.90 * sat)
 }
 

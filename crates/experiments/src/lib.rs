@@ -15,4 +15,6 @@ pub mod figs;
 pub mod runner;
 pub mod sweep;
 
-pub use runner::{run_one, run_parallel, ExpConfig, Job, RunResult};
+pub use runner::{
+    run_one, run_parallel, run_parallel_results, ExpConfig, Job, JobError, RunResult,
+};

@@ -1,11 +1,18 @@
 //! Simulation runner: executes configured networks (optionally in parallel
 //! across a sweep) and extracts per-application results.
+//!
+//! The parallel runner is panic-safe: each job runs under `catch_unwind`,
+//! a panicking job is reported with its label, and the remaining jobs
+//! still complete. `run_parallel` re-raises an aggregate failure only
+//! after the whole sweep has finished, so one diverging configuration
+//! cannot discard the others' completed work.
 
 use metrics::LatencyKind;
 use noc_sim::network::Network;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Warmup/measurement window and seed for one experiment.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -54,24 +61,54 @@ pub struct RunResult {
     pub delivered: u64,
     /// Flit throughput in flits/cycle/node.
     pub throughput: f64,
+    /// Cycles simulated (warmup + measurement).
+    pub cycles: u64,
+    /// Routers in the mesh.
+    pub routers: usize,
+    /// Router×phase visits elided by the active-set fast path.
+    pub router_cycles_skipped: u64,
+    /// End-of-cycle router state updates elided.
+    pub state_updates_skipped: u64,
 }
 
 impl RunResult {
     /// Unweighted mean of the per-application APLs (how the paper averages
-    /// "over all applications"), restricted to `apps` if given.
+    /// "over all applications"), restricted to `apps` if given. Applications
+    /// that delivered nothing in the window — routine at saturation — are
+    /// skipped; `NaN` is returned when none delivered, so a starved sweep
+    /// point shows up in tables instead of tearing down the run.
     pub fn mean_apl(&self, apps: Option<&[usize]>) -> f64 {
         let vals: Vec<f64> = match apps {
             Some(idx) => idx.iter().filter_map(|&a| self.apl[a]).collect(),
             None => self.apl.iter().flatten().copied().collect(),
         };
-        assert!(!vals.is_empty(), "no delivered packets in {}", self.label);
+        if vals.is_empty() {
+            return f64::NAN;
+        }
         vals.iter().sum::<f64>() / vals.len() as f64
     }
 
-    /// APL of one application (panics if it delivered nothing).
-    pub fn app_apl(&self, app: usize) -> f64 {
+    /// APL of one application, or `None` if it delivered nothing.
+    pub fn try_app_apl(&self, app: usize) -> Option<f64> {
         self.apl[app]
-            .unwrap_or_else(|| panic!("app {app} delivered no packets in {}", self.label))
+    }
+
+    /// APL of one application; `NaN` when it delivered nothing (so ratios
+    /// and tables degrade visibly instead of panicking at saturation).
+    pub fn app_apl(&self, app: usize) -> f64 {
+        self.apl[app].unwrap_or(f64::NAN)
+    }
+
+    /// One-line report of how much per-cycle kernel work the active-set
+    /// fast path elided during this run.
+    pub fn kernel_summary(&self) -> String {
+        let visits = self.cycles * self.routers as u64;
+        metrics::report::kernel_summary(
+            visits * 3,
+            self.router_cycles_skipped,
+            visits,
+            self.state_updates_skipped,
+        )
     }
 }
 
@@ -91,48 +128,131 @@ pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> R
             .collect(),
         delivered: rec.delivered(),
         throughput: net.stats.throughput(net.cycle(), net.cfg.num_nodes()),
+        cycles: net.cycle(),
+        routers: net.cfg.num_nodes(),
+        router_cycles_skipped: net.stats.router_cycles_skipped,
+        state_updates_skipped: net.stats.state_updates_skipped,
     }
 }
 
-/// A deferred simulation job for the parallel sweep runner.
-pub type Job = Box<dyn FnOnce() -> RunResult + Send>;
+/// A deferred, labeled simulation job for the parallel sweep runner. The
+/// label travels with the job so a panic can be attributed even though the
+/// closure never produced a `RunResult`.
+pub struct Job {
+    label: String,
+    run: Box<dyn FnOnce() -> RunResult + Send>,
+}
+
+impl Job {
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> RunResult + Send + 'static) -> Job {
+        Job {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Run the job, converting a panic into a labeled error.
+    fn execute(self) -> Result<RunResult, JobError> {
+        let Job { label, run } = self;
+        catch_unwind(AssertUnwindSafe(run)).map_err(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            JobError { label, message }
+        })
+    }
+}
+
+/// A job that panicked instead of producing a result.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    pub label: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job '{}' panicked: {}", self.label, self.message)
+    }
+}
 
 /// Execute jobs across all available cores (one simulation per thread —
 /// runs are independent and deterministic, so parallelism never changes
-/// results). Results are returned in job order.
-pub fn run_parallel(jobs: Vec<Job>) -> Vec<RunResult> {
+/// results). Results are returned in job order; a panicking job becomes an
+/// `Err` while every other job still runs to completion. Progress is
+/// reported on stderr as jobs finish.
+pub fn run_parallel_results(jobs: Vec<Job>) -> Vec<Result<RunResult, JobError>> {
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
     }
+    let done = AtomicUsize::new(0);
+    let progress = |label: &str| {
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > 1 {
+            eprintln!("[sweep] {d}/{n} done ({label})");
+        }
+    };
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
     if workers <= 1 {
-        return jobs.into_iter().map(|j| j()).collect();
+        return jobs
+            .into_iter()
+            .map(|j| {
+                let label = j.label.clone();
+                let r = j.execute();
+                progress(&label);
+                r
+            })
+            .collect();
     }
     let queue: Mutex<Vec<(usize, Job)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
-    let active = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    let results: Mutex<Vec<Option<Result<RunResult, JobError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let job = queue.lock().pop();
+            s.spawn(|| loop {
+                let job = queue.lock().unwrap().pop();
                 let Some((idx, job)) = job else { break };
-                active.fetch_add(1, Ordering::Relaxed);
-                let r = job();
-                results.lock()[idx] = Some(r);
-                active.fetch_sub(1, Ordering::Relaxed);
+                let label = job.label.clone();
+                let r = job.execute();
+                results.lock().unwrap()[idx] = Some(r);
+                progress(&label);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|r| r.expect("all jobs completed"))
         .collect()
+}
+
+/// Like [`run_parallel_results`], but panics — after every job has finished
+/// — if any job failed, listing the failed labels. Figure drivers need all
+/// results, so a missing one is fatal, just not before the sweep completes.
+pub fn run_parallel(jobs: Vec<Job>) -> Vec<RunResult> {
+    let results = run_parallel_results(jobs);
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(|e| e.to_string()))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} sweep job(s) failed:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    results.into_iter().map(|r| r.unwrap()).collect()
 }
 
 #[cfg(test)]
@@ -171,6 +291,38 @@ mod tests {
         assert_eq!(r.delivered, 1);
         assert!(r.app_apl(0) > 0.0);
         assert!(r.mean_apl(None) > 0.0);
+        // A single-packet run is almost entirely idle: the active-set fast
+        // path must have elided nearly all router visits.
+        assert_eq!(r.cycles, 5_000);
+        assert_eq!(r.routers, 64);
+        assert!(
+            r.router_cycles_skipped > r.cycles * r.routers as u64 * 3 / 2,
+            "fast path barely skipped: {}",
+            r.router_cycles_skipped
+        );
+        assert!(r.state_updates_skipped > 0);
+        assert!(r.kernel_summary().starts_with("kernel:"));
+    }
+
+    #[test]
+    fn starved_app_yields_nan_not_panic() {
+        let r = RunResult {
+            label: "starved".into(),
+            apl: vec![None, Some(12.0)],
+            total_latency: vec![None, Some(14.0)],
+            delivered: 3,
+            throughput: 0.01,
+            cycles: 1_000,
+            routers: 64,
+            router_cycles_skipped: 0,
+            state_updates_skipped: 0,
+        };
+        assert!(r.app_apl(0).is_nan());
+        assert_eq!(r.try_app_apl(0), None);
+        assert_eq!(r.app_apl(1), 12.0);
+        // mean over delivered apps only; NaN when nothing delivered at all.
+        assert_eq!(r.mean_apl(None), 12.0);
+        assert!(r.mean_apl(Some(&[0])).is_nan());
     }
 
     #[test]
@@ -182,9 +334,11 @@ mod tests {
             quick: true,
         };
         let mk = |i: usize| -> Job {
-            Box::new(move || run_one(format!("job{i}"), tiny_net(i as u64), &cfg))
+            Job::new(format!("job{i}"), move || {
+                run_one(format!("job{i}"), tiny_net(i as u64), &cfg)
+            })
         };
-        let serial: Vec<RunResult> = (0..6).map(|i| (mk(i))()).collect();
+        let serial: Vec<RunResult> = (0..6).map(|i| ((mk(i)).run)()).collect();
         let parallel = run_parallel((0..6).map(mk).collect());
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
@@ -192,6 +346,48 @@ mod tests {
             assert_eq!(s.delivered, p.delivered);
             assert_eq!(s.apl, p.apl, "parallelism changed results");
         }
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_sweep() {
+        let cfg = ExpConfig {
+            warmup: 500,
+            measure: 1_000,
+            seed: 0,
+            quick: true,
+        };
+        let mut jobs = Vec::new();
+        for i in 0..4 {
+            jobs.push(Job::new(format!("ok{i}"), move || {
+                run_one(format!("ok{i}"), tiny_net(i as u64), &cfg)
+            }));
+        }
+        jobs.insert(
+            2,
+            Job::new("boom", || panic!("synthetic failure for the test")),
+        );
+        let results = run_parallel_results(jobs);
+        assert_eq!(results.len(), 5);
+        // All non-panicking jobs completed, in order.
+        for (i, idx) in [0usize, 1, 3, 4].iter().zip([0usize, 1, 2, 3]) {
+            let r = results[*i].as_ref().unwrap();
+            assert_eq!(r.label, format!("ok{idx}"));
+        }
+        let err = results[2].as_ref().unwrap_err();
+        assert_eq!(err.label, "boom");
+        assert!(err.message.contains("synthetic failure"));
+    }
+
+    #[test]
+    fn run_parallel_reports_failed_labels() {
+        let caught =
+            std::panic::catch_unwind(|| run_parallel(vec![Job::new("doomed", || panic!("nope"))]));
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("doomed"), "missing label in: {msg}");
     }
 
     #[test]

@@ -3,18 +3,20 @@
 //!
 //! The paper expresses all synthetic loads as a percentage of each
 //! application's saturation load. Saturation measurement is itself a
-//! binary-search of simulations, so results are cached per (layout, mix,
-//! app) key — every figure driver then shares the same reference loads.
+//! binary-search of simulations, so results are cached — keyed by the
+//! actual measurement parameters `(probe mode, cfg, region, app, spec)`,
+//! never by the caller-supplied label, so two call sites can never share a
+//! stale load by reusing a label string. The label is kept for diagnostics
+//! only.
 
 use crate::runner::ExpConfig;
 use noc_sim::config::SimConfig;
 use noc_sim::network::Network;
 use noc_sim::region::RegionMap;
 use noc_sim::source::TrafficSource;
-use parking_lot::Mutex;
 use rair::scheme::{Routing, Scheme};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use traffic::saturation::{app_saturation, SaturationProbe};
 use traffic::scenario::AppSpec;
 
@@ -42,18 +44,30 @@ fn sat_cache() -> &'static Mutex<HashMap<String, f64>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Canonical cache key derived from every parameter the measured saturation
+/// load depends on. `Debug` formatting of `f64` is round-trip exact in
+/// Rust, so distinct specs always produce distinct keys.
+fn sat_key(quick: bool, cfg: &SimConfig, region: &RegionMap, app: u8, spec: &AppSpec) -> String {
+    let assign: Vec<u8> = (0..cfg.num_nodes() as u16)
+        .map(|n| region.app_of(n))
+        .collect();
+    format!("quick={quick}|cfg={cfg:?}|region={assign:?}|app={app}|spec={spec:?}")
+}
+
 /// Saturation load (flits/cycle/node) of application `app` running alone
 /// with traffic mix `spec` on `region`, measured under round-robin
-/// arbitration with local adaptive routing, cached under `key`.
+/// arbitration with local adaptive routing. `label` is used only in
+/// diagnostics; the cache key is derived from the parameters themselves.
 pub fn cached_saturation(
-    key: &str,
+    label: &str,
     ec: &ExpConfig,
     cfg: &SimConfig,
     region: &RegionMap,
     app: u8,
     spec: &AppSpec,
 ) -> f64 {
-    if let Some(&v) = sat_cache().lock().get(key) {
+    let key = sat_key(ec.quick, cfg, region, app, spec);
+    if let Some(&v) = sat_cache().lock().unwrap().get(&key) {
         return v;
     }
     let probe = if ec.quick {
@@ -61,23 +75,22 @@ pub fn cached_saturation(
     } else {
         SaturationProbe::default()
     };
-    let sat = app_saturation(&probe, cfg, region, app, spec, || {
-        Routing::Local.build()
-    });
-    assert!(sat > 0.0, "saturation search collapsed to zero for {key}");
-    sat_cache().lock().insert(key.to_string(), sat);
+    let sat = app_saturation(&probe, cfg, region, app, spec, || Routing::Local.build());
+    assert!(sat > 0.0, "saturation search collapsed to zero for {label}");
+    sat_cache().lock().unwrap().insert(key, sat);
     sat
 }
 
 /// Clear the saturation cache (tests).
 pub fn clear_saturation_cache() {
-    sat_cache().lock().clear();
+    sat_cache().lock().unwrap().clear();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use noc_sim::source::NoTraffic;
+    use traffic::scenario::InterDest;
 
     #[test]
     fn build_network_wires_scheme_and_routing() {
@@ -96,15 +109,45 @@ mod tests {
     }
 
     #[test]
-    fn saturation_cache_hits() {
+    fn saturation_cache_hits_regardless_of_label() {
         clear_saturation_cache();
         let cfg = SimConfig::table1();
         let region = RegionMap::halves(&cfg);
         let ec = ExpConfig::quick();
         let spec = AppSpec::intra_only(0.0);
         let a = cached_saturation("test/halves0", &ec, &cfg, &region, 0, &spec);
-        let b = cached_saturation("test/halves0", &ec, &cfg, &region, 0, &spec);
+        // Same parameters under a different label must hit the cache (and
+        // therefore return the identical value instantly).
+        let b = cached_saturation("other/label", &ec, &cfg, &region, 0, &spec);
         assert_eq!(a, b);
         assert!(a > 0.05 && a < 1.0, "saturation {a}");
+    }
+
+    #[test]
+    fn distinct_parameters_never_collide() {
+        let cfg = SimConfig::table1();
+        let region = RegionMap::halves(&cfg);
+        let base = AppSpec::intra_only(0.0);
+        let k = |quick, cfg: &SimConfig, region: &RegionMap, app, spec: &AppSpec| {
+            sat_key(quick, cfg, region, app, spec)
+        };
+        let reference = k(true, &cfg, &region, 0, &base);
+        // Key is a pure function of the parameters…
+        assert_eq!(reference, k(true, &cfg, &region, 0, &base));
+        // …and every parameter perturbation changes it.
+        assert_ne!(reference, k(false, &cfg, &region, 0, &base));
+        assert_ne!(reference, k(true, &cfg, &region, 1, &base));
+        let mut other_cfg = cfg.clone();
+        other_cfg.vc_depth += 1;
+        assert_ne!(reference, k(true, &other_cfg, &region, 0, &base));
+        let quadrants = RegionMap::quadrants(&cfg);
+        assert_ne!(reference, k(true, &cfg, &quadrants, 0, &base));
+        let mut spec = base.clone();
+        spec.mc += 0.05;
+        spec.intra -= 0.05;
+        assert_ne!(reference, k(true, &cfg, &region, 0, &spec));
+        let mut dest = base.clone();
+        dest.inter_dest = InterDest::Region(1);
+        assert_ne!(reference, k(true, &cfg, &region, 0, &dest));
     }
 }

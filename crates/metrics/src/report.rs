@@ -100,6 +100,35 @@ impl Table {
     }
 }
 
+/// One-line summary of the simulator's active-set fast path: what fraction
+/// of router×phase visits and end-of-cycle state updates were elided.
+/// `phase_visits` / `state_updates` are the exhaustive-scan totals
+/// (`cycles × routers × phases` and `cycles × routers`).
+pub fn kernel_summary(
+    phase_visits: u64,
+    phase_visits_skipped: u64,
+    state_updates: u64,
+    state_updates_skipped: u64,
+) -> String {
+    let frac = |skipped: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * skipped as f64 / total as f64
+        }
+    };
+    format!(
+        "kernel: skipped {:.1}% of router phase visits ({}/{}), \
+         {:.1}% of state updates ({}/{})",
+        frac(phase_visits_skipped, phase_visits),
+        phase_visits_skipped,
+        phase_visits,
+        frac(state_updates_skipped, state_updates),
+        state_updates_skipped,
+        state_updates,
+    )
+}
+
 /// Format a float with 2 decimal places (latency cells).
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -141,6 +170,16 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn kernel_summary_fractions() {
+        let s = kernel_summary(1000, 930, 500, 250);
+        assert!(s.contains("93.0%"), "{s}");
+        assert!(s.contains("50.0%"), "{s}");
+        assert!(s.contains("930/1000"), "{s}");
+        // Zero totals (e.g. a zero-cycle run) must not divide by zero.
+        assert!(kernel_summary(0, 0, 0, 0).contains("0.0%"));
     }
 
     #[test]

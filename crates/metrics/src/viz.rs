@@ -62,7 +62,7 @@ mod tests {
         let m = heatmap(&vals, 4);
         let lines: Vec<&str> = m.lines().collect();
         assert_eq!(lines.len(), 6); // border + 4 rows + border
-        // The max cell renders as full blocks.
+                                    // The max cell renders as full blocks.
         assert!(m.contains("██"));
     }
 

@@ -44,10 +44,7 @@ mod tests {
             inject: 11,
             is_native: true,
         };
-        let young = ArbReq {
-            birth: 500,
-            ..old
-        };
+        let young = ArbReq { birth: 500, ..old };
         assert!(
             p.priority(ArbStage::SaIn, &r, None, &old)
                 > p.priority(ArbStage::SaIn, &r, None, &young)

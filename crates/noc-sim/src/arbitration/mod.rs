@@ -78,6 +78,18 @@ pub trait PriorityPolicy: Send + Sync {
     /// one-cycle priority delay (§IV.E).
     fn update_router(&self, _router: &mut Router, _cycle: u64) {}
 
+    /// `true` when [`update_router`](Self::update_router) is a pure function
+    /// of the router's occupancy registers — re-applying it with unchanged
+    /// inputs leaves all state unchanged. The network then elides the call
+    /// on cycles where the router's occupancy did not change. Policies whose
+    /// update accumulates per-cycle observations (time-dependent state) must
+    /// return `false` or they will silently under-sample.
+    ///
+    /// The default `update_router` is a no-op, hence idempotent.
+    fn update_is_idempotent(&self) -> bool {
+        true
+    }
+
     /// Preferred adaptive-VC tag when an input VC picks which free output VC
     /// to request (VA_in). `None` = no preference (lowest free index).
     fn vc_tag_preference(&self, _router: &Router, _req: &ArbReq) -> Option<VcTag> {

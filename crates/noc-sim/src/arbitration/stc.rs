@@ -61,10 +61,7 @@ impl StcRank {
     fn rank_of(&self, app: AppId) -> u16 {
         // Unknown applications (e.g. injected adversarial traffic the OS
         // never ranked) get the worst rank.
-        self.ranks
-            .get(app as usize)
-            .copied()
-            .unwrap_or(u16::MAX)
+        self.ranks.get(app as usize).copied().unwrap_or(u16::MAX)
     }
 }
 

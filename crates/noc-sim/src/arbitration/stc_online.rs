@@ -83,11 +83,7 @@ impl PriorityPolicy for StcRankOnline {
         req: &ArbReq,
     ) -> u64 {
         let st = self.state.lock().unwrap();
-        let rank = st
-            .ranks
-            .get(req.app as usize)
-            .copied()
-            .unwrap_or(u16::MAX);
+        let rank = st.ranks.get(req.app as usize).copied().unwrap_or(u16::MAX);
         drop(st);
         let batch = req.birth / self.batch_window;
         let batch_prio = (1u64 << 40) - batch.min((1 << 40) - 1);
@@ -98,11 +94,11 @@ impl PriorityPolicy for StcRankOnline {
         let mut st = self.state.lock().unwrap();
         // Sample injection activity: which application holds each occupied
         // local-port VC of this router.
-        for (vc, ivc) in router.inputs[PORT_LOCAL].iter().enumerate() {
+        for ivc in &router.inputs[PORT_LOCAL] {
             if !ivc.occupied() {
                 continue;
             }
-            if let Some(app) = router.holder[PORT_LOCAL][vc].or_else(|| ivc.holder_app()) {
+            if let Some(app) = ivc.holder_app() {
                 if let Some(c) = st.counts.get_mut(app as usize) {
                     *c += 1;
                 }
@@ -120,6 +116,12 @@ impl PriorityPolicy for StcRankOnline {
             st.reranks += 1;
         }
     }
+
+    /// Sampling accumulates one observation per router per cycle, so the
+    /// update must run even on cycles where nothing changed.
+    fn update_is_idempotent(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +134,7 @@ mod tests {
     fn router_with_local_holder(app: AppId) -> Router {
         let cfg = SimConfig::table1();
         let mut r = Router::new(&cfg, 0, cfg.coord_of(0), 0);
-        r.holder[PORT_LOCAL][1] = Some(app);
+        r.inputs[PORT_LOCAL][1].holder = Some(app);
         r.inputs[PORT_LOCAL][1].buf.push_back(Flit {
             kind: FlitKind::Single,
             seq: 0,
@@ -160,6 +162,13 @@ mod tests {
     }
 
     #[test]
+    fn opts_out_of_update_skipping() {
+        // Sampling is time-dependent: skipping update_router on quiet
+        // cycles would bias the intensity estimate.
+        assert!(!StcRankOnline::new(2, 1000, 500).update_is_idempotent());
+    }
+
+    #[test]
     fn learns_intensity_ordering() {
         let p = StcRankOnline::new(2, 1000, 100);
         let mut heavy = router_with_local_holder(1);
@@ -177,7 +186,10 @@ mod tests {
         p.update_router(&mut idle, 100);
         assert_eq!(p.reranks(), 1);
         let ranks = p.ranks();
-        assert!(ranks[0] < ranks[1], "light app must outrank heavy: {ranks:?}");
+        assert!(
+            ranks[0] < ranks[1],
+            "light app must outrank heavy: {ranks:?}"
+        );
     }
 
     #[test]

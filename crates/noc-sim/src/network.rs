@@ -23,12 +23,33 @@
 //! A head flit arriving at cycle *t* thus departs at *t+3* when uncontended
 //! (RC at *t*, VA at *t+1*, SA/ST at *t+2*, LT lands it downstream at *t+3*),
 //! a 3-stage router plus single-cycle links.
+//!
+//! ## Active-set fast path
+//!
+//! Every RC/VA/SA candidate lives in an *occupied* input VC, and occupancy
+//! changes at exactly two points: a head flit written into an empty idle VC
+//! (arrival or injection) and a tail flit departing through the crossbar.
+//! The network maintains, incrementally at those points, a per-router
+//! occupancy summary ([`Router::occ_port`]/[`Router::occ_vcs`]) and a
+//! network-wide bitmask of non-empty routers; the SA, VA and RC phases then
+//! visit only active routers (ascending, the exhaustive-scan order), and the
+//! end-of-cycle state update skips routers whose inputs did not change
+//! (unless analysis is on or the policy's update is not idempotent). A
+//! skipped router contributes no candidates and mutates no arbiter pointer,
+//! so the fast path is bit-identical to the exhaustive scan — enforced by a
+//! debug-build self-check each cycle and the [`set_force_exhaustive`]
+//! diagnostic switch ([`SimStats::router_cycles_skipped`] and
+//! [`SimStats::state_updates_skipped`] count the elided work).
+//!
+//! [`set_force_exhaustive`]: Network::set_force_exhaustive
 
 use crate::analysis::{AnalysisState, JourneyEvent};
 use crate::arbitration::{arbitrate_rr, ArbReq, ArbStage, PriorityPolicy};
 use crate::config::SimConfig;
 use crate::flit::{Flit, PacketInfo};
-use crate::ids::{opposite, NodeId, Port, NUM_PORTS, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use crate::ids::{
+    opposite, NodeId, Port, NUM_PORTS, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST,
+};
 use crate::node::Node;
 use crate::region::RegionMap;
 use crate::router::Router;
@@ -89,6 +110,17 @@ pub struct Network {
     // Reusable scratch (perf: avoid per-cycle allocation).
     va_scratch: Vec<VaReq>,
     sa_scratch: Vec<SaCand>,
+    /// Active-set bitmask: bit `i` set ⇔ router `i` has at least one
+    /// occupied input VC. Maintained at the occupancy transition points
+    /// (head arrival/injection, tail departure); the SA/VA/RC phases iterate
+    /// only set bits, in ascending index order.
+    active_mask: Vec<u64>,
+    /// Scratch list of active router indices, rebuilt per phase (a phase
+    /// may shrink the set mid-iteration, so each phase snapshots it).
+    active_scratch: Vec<u32>,
+    /// Diagnostic switch: iterate every router in every phase and never
+    /// skip state updates. Must be bit-identical to the fast path.
+    force_exhaustive: bool,
 }
 
 impl Network {
@@ -119,9 +151,7 @@ impl Network {
                 Router::new(&cfg, id, cfg.coord_of(id), region.app_of(id))
             })
             .collect();
-        let nodes = (0..n)
-            .map(|i| Node::new(&cfg, i as NodeId, seed))
-            .collect();
+        let nodes = (0..n).map(|i| Node::new(&cfg, i as NodeId, seed)).collect();
         let num_apps = source.num_apps();
         Self {
             region,
@@ -140,8 +170,63 @@ impl Network {
             analysis: None,
             va_scratch: Vec::new(),
             sa_scratch: Vec::new(),
+            active_mask: vec![0; n.div_ceil(64)],
+            active_scratch: Vec::with_capacity(n),
+            force_exhaustive: false,
             cfg,
         }
+    }
+
+    /// Disable (`true`) or re-enable (`false`) the active-set fast path.
+    /// The exhaustive scan visits every router in every phase and performs
+    /// every state update; results are bit-identical either way — this
+    /// switch exists so tests and benches can prove it.
+    pub fn set_force_exhaustive(&mut self, exhaustive: bool) {
+        self.force_exhaustive = exhaustive;
+    }
+
+    /// Number of routers currently holding at least one occupied input VC —
+    /// the size of the active set the per-cycle kernel iterates.
+    pub fn active_routers(&self) -> usize {
+        self.active_mask
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    #[inline]
+    fn mark_active(mask: &mut [u64], idx: usize) {
+        mask[idx >> 6] |= 1 << (idx & 63);
+    }
+
+    #[inline]
+    fn mark_inactive(mask: &mut [u64], idx: usize) {
+        mask[idx >> 6] &= !(1 << (idx & 63));
+    }
+
+    /// Snapshot the routers one pipeline phase must visit, ascending (the
+    /// exhaustive scan order — f64 accumulation and packet-id assignment
+    /// depend on it). Counts the elided visits.
+    fn fill_phase_set(
+        scratch: &mut Vec<u32>,
+        mask: &[u64],
+        num_routers: usize,
+        force_exhaustive: bool,
+        skipped: &mut u64,
+    ) {
+        scratch.clear();
+        if force_exhaustive {
+            scratch.extend(0..num_routers as u32);
+            return;
+        }
+        for (w, &word) in mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                scratch.push(((w << 6) + bits.trailing_zeros() as usize) as u32);
+                bits &= bits - 1;
+            }
+        }
+        *skipped += (num_routers - scratch.len()) as u64;
     }
 
     /// Current cycle.
@@ -165,6 +250,8 @@ impl Network {
     /// Advance one cycle.
     pub fn tick(&mut self) {
         self.deliver_phase();
+        #[cfg(debug_assertions)]
+        self.debug_verify_active_set();
         self.sa_phase();
         self.va_phase();
         self.rc_phase();
@@ -191,6 +278,34 @@ impl Network {
         self.run(measure);
     }
 
+    /// Self-check of the incremental active-set bookkeeping against an
+    /// exhaustive recount: the bitmask, the per-port/total occupancy
+    /// counters and the holder tags must all match what a slow scan finds,
+    /// so skipping a router can never change a candidate set.
+    #[cfg(debug_assertions)]
+    fn debug_verify_active_set(&self) {
+        for (i, r) in self.routers.iter().enumerate() {
+            let (per_port, total) = r.recount_occupancy_summary();
+            assert_eq!(per_port, r.occ_port, "router {i}: occ_port drifted");
+            assert_eq!(total, r.occ_vcs, "router {i}: occ_vcs drifted");
+            let bit = self.active_mask[i >> 6] >> (i & 63) & 1 == 1;
+            assert_eq!(
+                total > 0,
+                bit,
+                "router {i}: active bit disagrees with occupancy {total}"
+            );
+            for vcs in &r.inputs {
+                for ivc in vcs {
+                    assert_eq!(
+                        ivc.occupied(),
+                        ivc.holder_app().is_some(),
+                        "router {i}: holder tag out of sync with occupancy"
+                    );
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------- phase 1: LT/BW
 
     fn deliver_phase(&mut self) {
@@ -204,12 +319,19 @@ impl Network {
         let arrivals = std::mem::take(&mut self.in_flight);
         for a in arrivals {
             let router = &mut self.routers[a.dst_router];
+            let ivc = &mut router.inputs[a.in_port][a.vc];
+            // Atomic VCs: exactly the head starts a new occupancy interval.
+            debug_assert_eq!(a.flit.kind.is_head(), !ivc.occupied());
+            debug_assert!(ivc.buf.len() < self.cfg.vc_depth, "input buffer overflow");
+            let newly_occupied = !ivc.occupied();
             if a.flit.kind.is_head() {
-                router.holder[a.in_port][a.vc] = Some(a.flit.info.app);
+                ivc.holder = Some(a.flit.info.app);
             }
-            let buf = &mut router.inputs[a.in_port][a.vc].buf;
-            debug_assert!(buf.len() < self.cfg.vc_depth, "input buffer overflow");
-            buf.push_back(a.flit);
+            ivc.buf.push_back(a.flit);
+            if newly_occupied {
+                router.note_vc_occupied(a.in_port);
+                Self::mark_active(&mut self.active_mask, a.dst_router);
+            }
         }
         let ejected = std::mem::take(&mut self.eject_q);
         for (n, flit) in ejected {
@@ -271,14 +393,29 @@ impl Network {
             sa_scratch,
             cycle,
             analysis,
+            active_mask,
+            active_scratch,
+            force_exhaustive,
             ..
         } = self;
         let v = cfg.vcs_per_port();
         let policy = &**policy;
-        for (r_idx, r) in routers.iter_mut().enumerate() {
+        Self::fill_phase_set(
+            active_scratch,
+            active_mask,
+            routers.len(),
+            *force_exhaustive,
+            &mut stats.router_cycles_skipped,
+        );
+        for &r_u32 in active_scratch.iter() {
+            let r_idx = r_u32 as usize;
+            let r = &mut routers[r_idx];
             // Shared pass: collect candidates.
             sa_scratch.clear();
             for in_port in 0..NUM_PORTS {
+                if r.occ_port[in_port] == 0 && !*force_exhaustive {
+                    continue;
+                }
                 for in_vc in 0..v {
                     let ivc = &r.inputs[in_port][in_vc];
                     let VcState::Active { out_port, out_vc } = ivc.state else {
@@ -375,7 +512,11 @@ impl Network {
                         "atomic VC violated: flits behind a tail"
                     );
                     ivc.state = VcState::Idle;
-                    r.holder[win.in_port][win.in_vc] = None;
+                    ivc.holder = None;
+                    r.note_vc_freed(win.in_port);
+                    if r.occ_vcs == 0 {
+                        Self::mark_inactive(active_mask, r_idx);
+                    }
                 }
                 stats.last_progress = *cycle;
             }
@@ -393,15 +534,30 @@ impl Network {
             routers,
             congestion,
             va_scratch,
+            stats,
+            active_mask,
+            active_scratch,
+            force_exhaustive,
             ..
         } = self;
         let v = cfg.vcs_per_port();
         let policy = &**policy;
         let routing = &**routing;
-        for r in routers.iter_mut() {
+        Self::fill_phase_set(
+            active_scratch,
+            active_mask,
+            routers.len(),
+            *force_exhaustive,
+            &mut stats.router_cycles_skipped,
+        );
+        for &r_u32 in active_scratch.iter() {
+            let r = &mut routers[r_u32 as usize];
             // Shared pass: VA_in — each routed input VC picks one request.
             va_scratch.clear();
             for in_port in 0..NUM_PORTS {
+                if r.occ_port[in_port] == 0 && !*force_exhaustive {
+                    continue;
+                }
                 for in_vc in 0..v {
                     let ivc = &r.inputs[in_port][in_vc];
                     let VcState::Routed { adaptive, escape } = ivc.state else {
@@ -415,12 +571,8 @@ impl Network {
                         cfg, region, routing, policy, congestion, r, &info, &req, adaptive, escape,
                     );
                     if let Some((out_port, out_vc)) = request {
-                        let prio = policy.priority(
-                            ArbStage::VaOut,
-                            r,
-                            Some(cfg.vc_class(out_vc)),
-                            &req,
-                        );
+                        let prio =
+                            policy.priority(ArbStage::VaOut, r, Some(cfg.vc_class(out_vc)), &req);
                         va_scratch.push(VaReq {
                             out_port,
                             out_vc,
@@ -534,18 +686,35 @@ impl Network {
             cfg,
             routing,
             routers,
+            stats,
+            active_mask,
+            active_scratch,
+            force_exhaustive,
             ..
         } = self;
         let v = cfg.vcs_per_port();
-        for r in routers.iter_mut() {
+        Self::fill_phase_set(
+            active_scratch,
+            active_mask,
+            routers.len(),
+            *force_exhaustive,
+            &mut stats.router_cycles_skipped,
+        );
+        for &r_u32 in active_scratch.iter() {
+            let r = &mut routers[r_u32 as usize];
             let cur = r.coord;
             for in_port in 0..NUM_PORTS {
+                if r.occ_port[in_port] == 0 && !*force_exhaustive {
+                    continue;
+                }
                 for in_vc in 0..v {
                     let ivc = &mut r.inputs[in_port][in_vc];
                     if ivc.state != VcState::Idle {
                         continue;
                     }
-                    let Some(front) = ivc.buf.front() else { continue };
+                    let Some(front) = ivc.buf.front() else {
+                        continue;
+                    };
                     debug_assert!(
                         front.kind.is_head(),
                         "idle VC front flit must be a head (atomic VCs)"
@@ -579,9 +748,10 @@ impl Network {
             next_pkt_id,
             cycle,
             analysis,
+            active_mask,
             ..
         } = self;
-        for (node, router) in nodes.iter_mut().zip(routers.iter_mut()) {
+        for (i, (node, router)) in nodes.iter_mut().zip(routers.iter_mut()).enumerate() {
             node.release_replies(*cycle);
             if let Some(np) = source.generate(node.id, *cycle, &mut node.rng) {
                 assert_ne!(np.dst, node.id, "source generated self-addressed packet");
@@ -609,6 +779,8 @@ impl Network {
             if let Some(ev) = node.try_inject(cfg, router, *cycle) {
                 stats.injected_flits += 1;
                 if ev.head {
+                    // try_inject bumped the router's occupancy counters.
+                    Self::mark_active(active_mask, i);
                     stats.injected_packets[ev.app as usize] += 1;
                     if let Some(a) = analysis.as_mut() {
                         if a.watch == Some(ev.packet_id) {
@@ -631,9 +803,22 @@ impl Network {
             congestion,
             cycle,
             analysis,
+            stats,
+            force_exhaustive,
             ..
         } = self;
+        // A router whose occupancy did not change this cycle would recompute
+        // the identical OVC registers and congestion export, and an
+        // idempotent policy update is a fixed point on unchanged registers —
+        // so the whole update can be elided. Analysis accumulates per-cycle
+        // occupancy sums, so it forces the full pass.
+        let may_skip = !*force_exhaustive && analysis.is_none() && policy.update_is_idempotent();
         for (i, r) in routers.iter_mut().enumerate() {
+            if may_skip && !r.occ_dirty {
+                stats.state_updates_skipped += 1;
+                continue;
+            }
+            r.occ_dirty = false;
             let (n, f) = r.count_occupancy();
             r.ovc_native = n;
             r.ovc_foreign = f;

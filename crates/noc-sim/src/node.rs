@@ -74,7 +74,9 @@ impl Node {
             class_rr: 0,
             vc_rr: 0,
             replies: BinaryHeap::new(),
-            rng: SmallRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1))),
+            rng: SmallRng::seed_from_u64(
+                seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1)),
+            ),
         }
     }
 
@@ -135,8 +137,7 @@ impl Node {
 
     /// Packets waiting in the source queues (saturation/backlog signal).
     pub fn backlog(&self) -> usize {
-        self.src_q.iter().map(|q| q.len()).sum::<usize>()
-            + usize::from(self.inject.is_some())
+        self.src_q.iter().map(|q| q.len()).sum::<usize>() + usize::from(self.inject.is_some())
     }
 
     /// Replies still being serviced.
@@ -156,7 +157,7 @@ impl Node {
     fn pick_vc(&mut self, cfg: &SimConfig, router: &Router, class: MsgClass) -> Option<usize> {
         let usable = |vc: usize| {
             let ivc = &router.inputs[PORT_LOCAL][vc];
-            ivc.state == VcState::Idle && ivc.buf.is_empty() && router.holder[PORT_LOCAL][vc].is_none()
+            ivc.state == VcState::Idle && ivc.buf.is_empty() && ivc.holder.is_none()
         };
         let n_adaptive = cfg.adaptive_vcs;
         for k in 0..n_adaptive {
@@ -173,7 +174,12 @@ impl Node {
     /// Inject up to one flit into the router's local input port. Starts a
     /// new packet (class queues served round-robin) when none is
     /// mid-injection. Returns the injected flit's accounting info, if any.
-    pub fn try_inject(&mut self, cfg: &SimConfig, router: &mut Router, cycle: u64) -> Option<InjectedFlit> {
+    pub fn try_inject(
+        &mut self,
+        cfg: &SimConfig,
+        router: &mut Router,
+        cycle: u64,
+    ) -> Option<InjectedFlit> {
         if self.inject.is_none() {
             for k in 0..cfg.num_classes {
                 let c = (self.class_rr + k) % cfg.num_classes;
@@ -193,8 +199,7 @@ impl Node {
             }
         }
         if let Some(p) = &mut self.inject {
-            let ivc = &mut router.inputs[PORT_LOCAL][p.vc];
-            if ivc.buf.len() < cfg.vc_depth {
+            if router.inputs[PORT_LOCAL][p.vc].buf.len() < cfg.vc_depth {
                 let flit = p.flits.pop_front().expect("inject progress non-empty");
                 let ev = InjectedFlit {
                     head: flit.kind.is_head(),
@@ -202,9 +207,11 @@ impl Node {
                     packet_id: flit.info.id,
                 };
                 if ev.head {
-                    router.holder[PORT_LOCAL][p.vc] = Some(flit.info.app);
+                    debug_assert!(!router.inputs[PORT_LOCAL][p.vc].occupied());
+                    router.inputs[PORT_LOCAL][p.vc].holder = Some(flit.info.app);
+                    router.note_vc_occupied(PORT_LOCAL);
                 }
-                ivc.buf.push_back(flit);
+                router.inputs[PORT_LOCAL][p.vc].buf.push_back(flit);
                 if p.flits.is_empty() {
                     self.inject = None;
                 }
@@ -278,7 +285,7 @@ mod tests {
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         // Occupy every local VC.
         for vc in 0..c.vcs_per_port() {
-            router.holder[PORT_LOCAL][vc] = Some(9);
+            router.inputs[PORT_LOCAL][vc].holder = Some(9);
         }
         node.enqueue(pkt(1, 0, 1));
         assert!(node.try_inject(&c, &mut router, 0).is_none());
@@ -302,7 +309,7 @@ mod tests {
         let mut node = Node::new(&c, 0, 42);
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         for vc in c.adaptive_vc_range() {
-            router.holder[PORT_LOCAL][vc] = Some(9);
+            router.inputs[PORT_LOCAL][vc].holder = Some(9);
         }
         node.enqueue(pkt(1, 0, 1));
         assert!(node.try_inject(&c, &mut router, 0).is_some());

@@ -87,11 +87,7 @@ impl RegionMap {
     }
 
     /// Build from a coordinate→app function.
-    pub fn from_fn(
-        cfg: &SimConfig,
-        num_apps: usize,
-        f: impl Fn(crate::ids::Coord) -> u8,
-    ) -> Self {
+    pub fn from_fn(cfg: &SimConfig, num_apps: usize, f: impl Fn(crate::ids::Coord) -> u8) -> Self {
         let app_of = (0..cfg.num_nodes() as NodeId)
             .map(|id| f(cfg.coord_of(id)))
             .collect();

@@ -28,10 +28,6 @@ pub struct Router {
 
     /// Input VCs, `inputs[port][vc]`.
     pub inputs: Vec<Vec<InputVc>>,
-    /// Holder application of each input VC (set at head arrival, cleared at
-    /// tail departure) — lets occupancy counting classify VCs whose flits
-    /// have all moved downstream while the packet still owns the VC.
-    pub holder: Vec<Vec<Option<AppId>>>,
     /// Output-VC allocation: `out_alloc[port][vc] = Some((in_port, in_vc))`
     /// while a packet holds the output VC.
     pub out_alloc: Vec<Vec<Option<(Port, usize)>>>,
@@ -55,6 +51,19 @@ pub struct Router {
     /// high priority. Defaults to `false` — foreign-high is the DPA default
     /// (§IV.C case 3).
     pub dpa_native_high: bool,
+
+    // --- Active-set occupancy summary (maintained incrementally by the
+    // network at the only two occupancy transition points: head written
+    // into an empty idle VC, tail departed through the crossbar).
+    /// Occupied input VCs per input port.
+    pub occ_port: [u16; NUM_PORTS],
+    /// Total occupied input VCs (sum of `occ_port`). Zero ⇔ the router has
+    /// no RC/VA/SA work and the per-cycle kernel may skip it entirely.
+    pub occ_vcs: u16,
+    /// Set whenever a VC changed occupancy since the last per-cycle state
+    /// update; while clear, the DPA registers and the congestion export
+    /// cannot change, so the update may be skipped.
+    pub occ_dirty: bool,
 }
 
 impl Router {
@@ -68,7 +77,6 @@ impl Router {
             inputs: (0..NUM_PORTS)
                 .map(|_| (0..v).map(|_| InputVc::new(cfg.vc_depth)).collect())
                 .collect(),
-            holder: vec![vec![None; v]; NUM_PORTS],
             out_alloc: vec![vec![None; v]; NUM_PORTS],
             credits: vec![vec![cfg.vc_depth; v]; NUM_PORTS],
             va_ptr: vec![0; NUM_PORTS * v],
@@ -77,7 +85,44 @@ impl Router {
             ovc_native: 0,
             ovc_foreign: 0,
             dpa_native_high: false,
+            occ_port: [0; NUM_PORTS],
+            occ_vcs: 0,
+            // Start dirty so the first state update always runs.
+            occ_dirty: true,
         }
+    }
+
+    /// Record that input VC on `port` transitioned unoccupied → occupied.
+    #[inline]
+    pub fn note_vc_occupied(&mut self, port: Port) {
+        self.occ_port[port] += 1;
+        self.occ_vcs += 1;
+        self.occ_dirty = true;
+    }
+
+    /// Record that input VC on `port` transitioned occupied → unoccupied.
+    #[inline]
+    pub fn note_vc_freed(&mut self, port: Port) {
+        debug_assert!(self.occ_port[port] > 0 && self.occ_vcs > 0);
+        self.occ_port[port] -= 1;
+        self.occ_vcs -= 1;
+        self.occ_dirty = true;
+    }
+
+    /// Recompute the occupancy summary by exhaustive scan (the slow way the
+    /// incremental counters must always agree with).
+    pub fn recount_occupancy_summary(&self) -> ([u16; NUM_PORTS], u16) {
+        let mut per_port = [0u16; NUM_PORTS];
+        let mut total = 0u16;
+        for (port, vcs) in self.inputs.iter().enumerate() {
+            for ivc in vcs {
+                if ivc.occupied() {
+                    per_port[port] += 1;
+                    total += 1;
+                }
+            }
+        }
+        (per_port, total)
     }
 
     /// Is `app` native traffic at this router? Unassigned routers treat all
@@ -109,13 +154,12 @@ impl Router {
     pub fn count_occupancy(&self) -> (u32, u32) {
         let mut native = 0;
         let mut foreign = 0;
-        for (port, vcs) in self.inputs.iter().enumerate() {
-            for (vc, ivc) in vcs.iter().enumerate() {
+        for vcs in &self.inputs {
+            for ivc in vcs {
                 if !ivc.occupied() {
                     continue;
                 }
-                let app = self.holder[port][vc].or_else(|| ivc.holder_app());
-                if let Some(a) = app {
+                if let Some(a) = ivc.holder_app() {
                     if self.is_native(a) {
                         native += 1;
                     } else {
@@ -212,7 +256,8 @@ mod tests {
                 reply: None,
             },
         });
-        r.holder[port][vc] = Some(app);
+        r.inputs[port][vc].holder = Some(app);
+        r.note_vc_occupied(port);
     }
 
     #[test]
@@ -271,6 +316,42 @@ mod tests {
             r.credits[1][0] = 0;
             r.has_credit(1, 0)
         });
+    }
+
+    #[test]
+    fn occupancy_summary_tracks_transitions() {
+        let mut r = mk();
+        assert_eq!(r.recount_occupancy_summary(), (r.occ_port, r.occ_vcs));
+        assert!(r.occ_dirty, "fresh router must start dirty");
+        r.occ_dirty = false;
+        put_flit(&mut r, 1, 0, 1);
+        put_flit(&mut r, 1, 2, 0);
+        put_flit(&mut r, 3, 1, 2);
+        assert_eq!(r.occ_vcs, 3);
+        assert_eq!(r.occ_port[1], 2);
+        assert_eq!(r.occ_port[3], 1);
+        assert!(r.occ_dirty);
+        assert_eq!(r.recount_occupancy_summary(), (r.occ_port, r.occ_vcs));
+        // Free one back down and re-check agreement with the slow scan.
+        r.inputs[1][0].buf.clear();
+        r.inputs[1][0].holder = None;
+        r.note_vc_freed(1);
+        assert_eq!(r.occ_vcs, 2);
+        assert_eq!(r.recount_occupancy_summary(), (r.occ_port, r.occ_vcs));
+    }
+
+    #[test]
+    fn holder_classifies_drained_active_vc() {
+        // The DPA registers must keep counting a VC whose flits all moved
+        // on (tail still upstream) — the case the buggy holder lookup lost.
+        let mut r = mk(); // router app = 1
+        put_flit(&mut r, 2, 1, 0); // foreign
+        r.inputs[2][1].state = VcState::Active {
+            out_port: 1,
+            out_vc: 0,
+        };
+        r.inputs[2][1].buf.clear(); // flits forwarded, VC still held
+        assert_eq!(r.count_occupancy(), (0, 1));
     }
 
     #[test]

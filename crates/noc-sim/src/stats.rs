@@ -24,6 +24,13 @@ pub struct SimStats {
     /// Last cycle any flit moved through a crossbar or was ejected —
     /// the deadlock-watchdog signal.
     pub last_progress: u64,
+    /// Router×phase visits elided by the active-set fast path (cumulative;
+    /// up to 3 per router per cycle — SA, VA and RC each skip routers with
+    /// no occupied input VC). Zero when running force-exhaustive.
+    pub router_cycles_skipped: u64,
+    /// Per-router end-of-cycle state updates elided because the router's
+    /// occupancy was unchanged (cumulative).
+    pub state_updates_skipped: u64,
 }
 
 impl SimStats {
@@ -36,6 +43,8 @@ impl SimStats {
             ejected_flits: 0,
             measure_start: 0,
             last_progress: 0,
+            router_cycles_skipped: 0,
+            state_updates_skipped: 0,
         }
     }
 
@@ -66,10 +75,14 @@ mod tests {
         let mut s = SimStats::new(2);
         s.generated[0] = 10;
         s.injected_flits = 50;
+        s.router_cycles_skipped = 7;
+        s.state_updates_skipped = 3;
         s.recorder.record(0, 10, 12, 3, 1);
         s.reset_window(1000);
         assert_eq!(s.generated[0], 10);
         assert_eq!(s.injected_flits, 50);
+        assert_eq!(s.router_cycles_skipped, 7);
+        assert_eq!(s.state_updates_skipped, 3);
         assert_eq!(s.recorder.delivered(), 0);
         assert_eq!(s.measure_start, 1000);
     }

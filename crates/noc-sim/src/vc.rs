@@ -56,6 +56,11 @@ pub enum VcState {
 pub struct InputVc {
     pub buf: VecDeque<Flit>,
     pub state: VcState,
+    /// Application of the packet currently holding this VC. Set when the
+    /// head flit is written into the (empty, idle) VC and cleared when the
+    /// tail departs — so it stays valid while the VC is occupied even after
+    /// every buffered flit has moved downstream.
+    pub holder: Option<crate::ids::AppId>,
 }
 
 impl InputVc {
@@ -63,6 +68,7 @@ impl InputVc {
         Self {
             buf: VecDeque::with_capacity(depth),
             state: VcState::Idle,
+            holder: None,
         }
     }
 
@@ -77,7 +83,7 @@ impl InputVc {
     /// Application of the packet currently holding this VC, if any.
     #[inline]
     pub fn holder_app(&self) -> Option<crate::ids::AppId> {
-        self.buf.front().map(|f| f.info.app)
+        self.holder
     }
 }
 
@@ -116,6 +122,7 @@ mod tests {
     #[test]
     fn buffered_flit_marks_occupied() {
         let mut vc = InputVc::new(5);
+        vc.holder = Some(flit().info.app);
         vc.buf.push_back(flit());
         assert!(vc.occupied());
         assert_eq!(vc.holder_app(), Some(3));
@@ -129,6 +136,25 @@ mod tests {
             out_vc: 0,
         };
         assert!(vc.occupied());
+    }
+
+    /// Regression: a VC whose buffered flits have all moved downstream while
+    /// the packet still owns it (tail not yet through) must keep reporting
+    /// its holder — reading the front flit here returned `None` and made
+    /// occupancy counting misclassify exactly the VCs that matter for DPA.
+    #[test]
+    fn holder_survives_buffer_drain() {
+        let mut vc = InputVc::new(5);
+        vc.holder = Some(3);
+        vc.buf.push_back(flit());
+        vc.state = VcState::Active {
+            out_port: 2,
+            out_vc: 1,
+        };
+        vc.buf.pop_front(); // flit forwarded; tail still upstream
+        assert!(vc.buf.is_empty());
+        assert!(vc.occupied());
+        assert_eq!(vc.holder_app(), Some(3), "holder lost after drain");
     }
 
     #[test]

@@ -151,7 +151,10 @@ fn minimal_routing_invariant() {
     net.run(300);
     assert_eq!(net.stats.recorder.delivered(), 5);
     let mean_hops = net.stats.recorder.app(0).hops.mean().unwrap();
-    assert!((mean_hops - expected_hops).abs() < 1e-9, "non-minimal route");
+    assert!(
+        (mean_hops - expected_hops).abs() < 1e-9,
+        "non-minimal route"
+    );
 }
 
 #[test]

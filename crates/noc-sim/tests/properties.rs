@@ -5,11 +5,7 @@ use noc_sim::network::Network;
 use noc_sim::prelude::*;
 use proptest::prelude::*;
 
-fn scripted_net(
-    events: Vec<(u64, NodeId, NewPacket)>,
-    routing: Routing,
-    seed: u64,
-) -> Network {
+fn scripted_net(events: Vec<(u64, NodeId, NewPacket)>, routing: Routing, seed: u64) -> Network {
     let cfg = SimConfig::table1();
     let r: Box<dyn RoutingAlgorithm> = match routing {
         Routing::Xy => Box::new(XyRouting),

@@ -48,7 +48,10 @@ fn wormhole_flits_stay_in_one_vc_per_hop() {
         assert!(west_occupied <= 1, "wormhole split across VCs");
         seen_multi_vc |= west_occupied == 1;
     }
-    assert!(seen_multi_vc, "packet never traversed the intermediate router");
+    assert!(
+        seen_multi_vc,
+        "packet never traversed the intermediate router"
+    );
     assert!(net.is_drained());
 }
 
@@ -91,7 +94,13 @@ fn vc_states_progress_through_pipeline() {
 fn credits_return_after_drain() {
     // After the network drains, every credit counter is back at full depth.
     let events = (0..20)
-        .map(|i| (i as u64, (i % 8) as NodeId, pkt(((i * 7) % 64) as NodeId, 5)))
+        .map(|i| {
+            (
+                i as u64,
+                (i % 8) as NodeId,
+                pkt(((i * 7) % 64) as NodeId, 5),
+            )
+        })
         .filter(|(_, s, p)| *s != p.dst)
         .collect();
     let mut net = net_with(events, Box::new(RoundRobin));
@@ -134,9 +143,8 @@ fn ejection_bandwidth_is_one_flit_per_cycle() {
     // eject at most one flit per cycle, so N packets need ≥ N cycles after
     // the first arrival.
     let n = 16u64;
-    let events: Vec<(u64, NodeId, NewPacket)> = (0..n)
-        .map(|i| (0, (i + 1) as NodeId, pkt(0, 1)))
-        .collect();
+    let events: Vec<(u64, NodeId, NewPacket)> =
+        (0..n).map(|i| (0, (i + 1) as NodeId, pkt(0, 1))).collect();
     let mut net = net_with(events, Box::new(RoundRobin));
     let mut first_delivery = None;
     let mut last_delivery = None;
@@ -209,8 +217,14 @@ fn analysis_records_links_and_journey() {
         events,
         vec![
             Injected { node: 0 },
-            Forwarded { router: 0, port: noc_sim::ids::PORT_EAST },
-            Forwarded { router: 1, port: noc_sim::ids::PORT_EAST },
+            Forwarded {
+                router: 0,
+                port: noc_sim::ids::PORT_EAST
+            },
+            Forwarded {
+                router: 1,
+                port: noc_sim::ids::PORT_EAST
+            },
             Delivered { node: 2 },
         ]
     );
@@ -225,8 +239,7 @@ fn analysis_records_links_and_journey() {
 
 #[test]
 fn analysis_occupancy_breakdown_accumulates() {
-    let events: Vec<(u64, NodeId, NewPacket)> =
-        (0..10).map(|i| (i, 0u16, pkt(63, 5))).collect();
+    let events: Vec<(u64, NodeId, NewPacket)> = (0..10).map(|i| (i, 0u16, pkt(63, 5))).collect();
     let mut net = net_with(events, Box::new(RoundRobin));
     net.enable_analysis();
     net.run(400);

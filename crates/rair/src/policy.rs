@@ -75,9 +75,7 @@ impl PriorityPolicy for RairPolicy {
                 match out_vc.expect("VA_out carries the contested VC class") {
                     // Global VCs: foreign traffic always wins (its global
                     // nature implies higher criticality).
-                    VcClass::Adaptive {
-                        tag: VcTag::Global,
-                    } => {
+                    VcClass::Adaptive { tag: VcTag::Global } => {
                         if req.is_native {
                             LOW
                         } else {
@@ -195,8 +193,7 @@ mod tests {
         let r = router_with_priority(false);
         for stage in [ArbStage::SaIn, ArbStage::SaOut] {
             assert!(
-                p.priority(stage, &r, None, &foreign())
-                    > p.priority(stage, &r, None, &native()),
+                p.priority(stage, &r, None, &foreign()) > p.priority(stage, &r, None, &native()),
                 "{stage:?}"
             );
         }
@@ -236,6 +233,32 @@ mod tests {
         r.ovc_foreign = 7; // r = 0.7 < 0.8 → low
         p.update_router(&mut r, 2);
         assert!(!r.dpa_native_high);
+    }
+
+    /// RAIR keeps the default `update_is_idempotent() == true`, which lets
+    /// the network skip `update_router` on cycles with unchanged occupancy.
+    /// That is only sound if re-applying the DPA transition with the same
+    /// registers is a fixed point — verify it across the state space.
+    #[test]
+    fn update_router_is_idempotent() {
+        let p = RairPolicy::full();
+        assert!(p.update_is_idempotent());
+        for start in [false, true] {
+            for n in 0..12u32 {
+                for f in 0..12u32 {
+                    let mut r = router_with_priority(start);
+                    r.ovc_native = n;
+                    r.ovc_foreign = f;
+                    p.update_router(&mut r, 0);
+                    let once = r.dpa_native_high;
+                    p.update_router(&mut r, 1);
+                    assert_eq!(
+                        r.dpa_native_high, once,
+                        "DPA not idempotent at start={start} n={n} f={f}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -204,9 +204,7 @@ mod serde_tests {
     /// cloning — here we settle for asserting `Serialize` compiles and the
     /// value equality survives a clone (the formats are exercised by the
     /// trace module's binary codec).
-    fn serde_json_like<T: serde::Serialize + Clone + PartialEq + std::fmt::Debug>(
-        v: &T,
-    ) -> String {
+    fn serde_json_like<T: serde::Serialize + Clone + PartialEq + std::fmt::Debug>(v: &T) -> String {
         let cloned = v.clone();
         assert_eq!(&cloned, v);
         format!("{v:?}")

@@ -32,7 +32,8 @@ fn asymmetric_net(scheme: &Scheme, seed: u64) -> Network {
                 if rng.random_bool(0.1) {
                     let mut dst = self.left[rng.random_range(0..self.left.len())];
                     if dst == node {
-                        dst = self.left[(rng.random_range(0..self.left.len()) + 1) % self.left.len()];
+                        dst =
+                            self.left[(rng.random_range(0..self.left.len()) + 1) % self.left.len()];
                     }
                     if dst == node {
                         return None;

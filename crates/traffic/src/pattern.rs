@@ -36,15 +36,10 @@ impl Pattern {
     /// on an even-sized mesh.
     pub fn center_hotspots(cfg: &SimConfig) -> Vec<NodeId> {
         let (mx, my) = (cfg.width / 2, cfg.height / 2);
-        [
-            (mx - 1, my - 1),
-            (mx, my - 1),
-            (mx - 1, my),
-            (mx, my),
-        ]
-        .into_iter()
-        .map(|(x, y)| cfg.node_at(noc_sim::ids::Coord { x, y }))
-        .collect()
+        [(mx - 1, my - 1), (mx, my - 1), (mx - 1, my), (mx, my)]
+            .into_iter()
+            .map(|(x, y)| cfg.node_at(noc_sim::ids::Coord { x, y }))
+            .collect()
     }
 
     /// Draw a destination for a packet sourced at `src`. Returns `None`
@@ -195,12 +190,16 @@ mod tests {
         let mut r = rng();
         let set: Vec<NodeId> = vec![3, 4, 5, 6];
         for _ in 0..100 {
-            let d = Pattern::UniformWithin(set.clone()).dest(&c, 4, &mut r).unwrap();
+            let d = Pattern::UniformWithin(set.clone())
+                .dest(&c, 4, &mut r)
+                .unwrap();
             assert!(set.contains(&d));
             assert_ne!(d, 4);
         }
         // Source outside the set: all four members reachable.
-        let d = Pattern::UniformWithin(set.clone()).dest(&c, 60, &mut r).unwrap();
+        let d = Pattern::UniformWithin(set.clone())
+            .dest(&c, 60, &mut r)
+            .unwrap();
         assert!(set.contains(&d));
     }
 
@@ -208,10 +207,7 @@ mod tests {
     fn singleton_set_with_self_is_empty() {
         let c = cfg();
         let mut r = rng();
-        assert_eq!(
-            Pattern::UniformWithin(vec![9]).dest(&c, 9, &mut r),
-            None
-        );
+        assert_eq!(Pattern::UniformWithin(vec![9]).dest(&c, 9, &mut r), None);
     }
 
     #[test]

@@ -84,10 +84,8 @@ pub fn find_saturation(
     let stable = |net: &mut Network, rate: f64| -> bool {
         let total_cycles = probe.warmup + probe.measure;
         net.run_warmup_measure(probe.warmup, probe.measure.max(total_cycles - probe.warmup));
-        let offered_packets =
-            rate / AVG_PACKET_FLITS * active_nodes as f64 * total_cycles as f64;
-        let backlog_ok =
-            (net.total_backlog() as f64) < probe.backlog_fraction * offered_packets;
+        let offered_packets = rate / AVG_PACKET_FLITS * active_nodes as f64 * total_cycles as f64;
+        let backlog_ok = (net.total_backlog() as f64) < probe.backlog_fraction * offered_packets;
         let latency_ok = net
             .stats
             .recorder
@@ -158,14 +156,9 @@ mod tests {
         let cfg = SimConfig::table1();
         let region = RegionMap::halves(&cfg);
         let probe = SaturationProbe::quick();
-        let sat = app_saturation(
-            &probe,
-            &cfg,
-            &region,
-            0,
-            &AppSpec::intra_only(0.0),
-            || Box::new(DuatoLocalAdaptive),
-        );
+        let sat = app_saturation(&probe, &cfg, &region, 0, &AppSpec::intra_only(0.0), || {
+            Box::new(DuatoLocalAdaptive)
+        });
         // Intra-half UR on a 4x8 region: saturation well inside (0.1, 1.0).
         assert!(
             (0.1..0.95).contains(&sat),
@@ -185,14 +178,9 @@ mod tests {
             iters: 3,
             ..SaturationProbe::default()
         };
-        let sat = app_saturation(
-            &probe,
-            &cfg,
-            &region,
-            0,
-            &AppSpec::intra_only(0.0),
-            || Box::new(DuatoLocalAdaptive),
-        );
+        let sat = app_saturation(&probe, &cfg, &region, 0, &AppSpec::intra_only(0.0), || {
+            Box::new(DuatoLocalAdaptive)
+        });
         assert!(sat > 0.0 && sat <= 1.0);
     }
 }

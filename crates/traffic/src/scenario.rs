@@ -158,7 +158,12 @@ impl Scenario {
         }
     }
 
-    fn draw_dest(&self, state: &AppState, src: NodeId, rng: &mut SmallRng) -> Option<(NodeId, bool)> {
+    fn draw_dest(
+        &self,
+        state: &AppState,
+        src: NodeId,
+        rng: &mut SmallRng,
+    ) -> Option<(NodeId, bool)> {
         let u: f64 = rng.random();
         let s = &state.spec;
         if u < s.intra {
@@ -365,11 +370,7 @@ mod tests {
     fn silent_app_generates_nothing() {
         let c = cfg();
         let region = RegionMap::halves(&c);
-        let mut s = Scenario::new(
-            &c,
-            &region,
-            vec![None, Some(AppSpec::intra_only(0.5))],
-        );
+        let mut s = Scenario::new(&c, &region, vec![None, Some(AppSpec::intra_only(0.5))]);
         let mut rng = SmallRng::seed_from_u64(4);
         for cyc in 0..500 {
             for node in region.nodes_of(0) {
@@ -405,7 +406,11 @@ mod tests {
     #[test]
     fn intensities_match_specs() {
         let c = cfg();
-        let (_r, s) = six_app(&c, [0.1, 0.9, 0.2, 0.3, 0.15, 0.9], InterDest::OutsideUniform);
+        let (_r, s) = six_app(
+            &c,
+            [0.1, 0.9, 0.2, 0.3, 0.15, 0.9],
+            InterDest::OutsideUniform,
+        );
         assert_eq!(s.intensities(), vec![0.1, 0.9, 0.2, 0.3, 0.15, 0.9]);
     }
 

@@ -44,7 +44,9 @@ impl Trace {
         seed: u64,
     ) -> Trace {
         let mut rngs: Vec<SmallRng> = (0..num_nodes)
-            .map(|i| SmallRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)))
+            .map(|i| {
+                SmallRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15))
+            })
             .collect();
         let mut events = Vec::new();
         for cycle in 0..cycles {
@@ -237,11 +239,7 @@ mod tests {
     #[test]
     fn mc_reply_specs_survive_roundtrip() {
         let cfg = SimConfig::table1();
-        let (_r, scenario) = crate::scenario::six_app(
-            &cfg,
-            [0.3; 6],
-            InterDest::OutsideUniform,
-        );
+        let (_r, scenario) = crate::scenario::six_app(&cfg, [0.3; 6], InterDest::OutsideUniform);
         let trace = Trace::capture(scenario, 64, 2000, 9);
         assert!(trace.events.iter().any(|e| e.packet.reply.is_some()));
         let back = Trace::from_bytes(trace.to_bytes()).unwrap();

@@ -159,7 +159,13 @@ impl ParsecWorkload {
         self.models.iter().map(AppModel::mean_rate).collect()
     }
 
-    fn draw_dest(&self, model: &AppModel, app: AppId, src: NodeId, rng: &mut SmallRng) -> Option<(NodeId, u64)> {
+    fn draw_dest(
+        &self,
+        model: &AppModel,
+        app: AppId,
+        src: NodeId,
+        rng: &mut SmallRng,
+    ) -> Option<(NodeId, u64)> {
         let u: f64 = rng.random();
         if u < model.local_fraction {
             // Region-local L2 bank.
@@ -319,8 +325,7 @@ mod tests {
                     assert_eq!(r.size, 5);
                     assert_eq!(r.class, 1);
                     assert!(
-                        r.service_latency == cfg.l2_latency
-                            || r.service_latency == cfg.mem_latency
+                        r.service_latency == cfg.l2_latency || r.service_latency == cfg.mem_latency
                     );
                     found += 1;
                     // Retire immediately so the MLP cap never throttles the
@@ -340,11 +345,7 @@ mod tests {
         let cfg = SimConfig::table1_req_reply();
         let region = RegionMap::quadrants(&cfg);
         // All four quadrants run fluidanimate to get volume quickly.
-        let mut w = ParsecWorkload::new(
-            &cfg,
-            &region,
-            vec![AppModel::fluidanimate(); 4],
-        );
+        let mut w = ParsecWorkload::new(&cfg, &region, vec![AppModel::fluidanimate(); 4]);
         let mut rng = SmallRng::seed_from_u64(3);
         let (mut local, mut total) = (0u32, 0u32);
         for cyc in 0..50_000 {

@@ -20,10 +20,7 @@ fn any_pattern() -> impl Strategy<Value = Pattern> {
         Just(Pattern::BitComplement),
         Just(Pattern::UniformWithin((0..16).collect())),
         Just(Pattern::UniformOutside((0..32).collect())),
-        Just(Pattern::Hotspot {
-            spots,
-            bias: 0.5
-        }),
+        Just(Pattern::Hotspot { spots, bias: 0.5 }),
     ]
 }
 

@@ -50,10 +50,7 @@ fn measure(scheme: &Scheme, local_fraction: f64) -> (f64, f64) {
         .map(|a| rec.app(a).mean(LatencyKind::Network).unwrap())
         .sum::<f64>()
         / 4.0;
-    let hops = (0..4)
-        .map(|a| rec.app(a).hops.mean().unwrap())
-        .sum::<f64>()
-        / 4.0;
+    let hops = (0..4).map(|a| rec.app(a).hops.mean().unwrap()).sum::<f64>() / 4.0;
     (apl, hops)
 }
 

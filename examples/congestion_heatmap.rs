@@ -53,9 +53,7 @@ fn main() {
         }
 
         println!("=== {} ===", scheme.label());
-        println!(
-            "mean VC occupancy per node (left half: light app; right half: 90%-load app)"
-        );
+        println!("mean VC occupancy per node (left half: light app; right half: 90%-load app)");
         print!("{}", heatmap(&acc, cfg.width as usize));
         println!(
             "light app APL over time: {}  (mean {:.1} cycles)\n",

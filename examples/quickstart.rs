@@ -20,7 +20,10 @@ fn main() {
     let p_inter = 0.4;
     let (rate_light, rate_heavy) = (0.04, 0.30);
 
-    println!("workload: app0 light ({rate_light} flits/cycle/node, {:.0}% inter-region),", p_inter * 100.0);
+    println!(
+        "workload: app0 light ({rate_light} flits/cycle/node, {:.0}% inter-region),",
+        p_inter * 100.0
+    );
     println!("          app1 heavy ({rate_heavy} flits/cycle/node, intra-region)\n");
 
     for scheme in [Scheme::RoRr, Scheme::rair()] {

@@ -61,7 +61,10 @@ fn run(scheme: &Scheme, routing: Routing, adversarial: bool) -> Vec<f64> {
 
 fn main() {
     let names = ["blackscholes", "swaptions", "fluidanimate", "raytrace"];
-    let intensities: Vec<f64> = AppModel::parsec_four().iter().map(|m| m.mean_rate()).collect();
+    let intensities: Vec<f64> = AppModel::parsec_four()
+        .iter()
+        .map(|m| m.mean_rate())
+        .collect();
     println!("four VMs (one per quadrant): {names:?}");
     println!("rogue agent: chip-wide uniform traffic at 0.4 flits/cycle/node\n");
     println!(
@@ -80,11 +83,7 @@ fn main() {
     ] {
         let base = run(&scheme, routing, false);
         let under_attack = run(&scheme, routing, true);
-        let slowdowns: Vec<f64> = base
-            .iter()
-            .zip(&under_attack)
-            .map(|(b, a)| a / b)
-            .collect();
+        let slowdowns: Vec<f64> = base.iter().zip(&under_attack).map(|(b, a)| a / b).collect();
         let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
         println!(
             "{label:<10} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x {avg:>7.2}x",

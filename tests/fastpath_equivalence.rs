@@ -1,0 +1,126 @@
+//! Bit-identity of the active-set fast path.
+//!
+//! The exhaustive-scan tick visits every router in every phase; the fast
+//! path visits only routers with occupied input VCs and elides unchanged
+//! state updates. These must produce *identical* simulations — same
+//! injections, same arbitration outcomes, same latencies — across the full
+//! scheme × routing matrix at several operating points.
+
+use noc_sim::network::Network;
+use noc_sim::prelude::*;
+use rair::prelude::*;
+use traffic::prelude::*;
+
+fn all_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::RoRr,
+        Scheme::RoAge,
+        Scheme::ro_rank(vec![0.1, 0.9]),
+        Scheme::rair(),
+        Scheme::rair_native_high(),
+        Scheme::rair_foreign_high(),
+        Scheme::rair_va_only(),
+    ]
+}
+
+/// Everything a run observes, minus the skip counters themselves (those
+/// legitimately differ between the two modes).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    injected_packets: Vec<u64>,
+    injected_flits: u64,
+    ejected_flits: u64,
+    delivered: u64,
+    apl: Vec<Option<f64>>,
+    overall_network: Option<f64>,
+    overall_total: Option<f64>,
+    congestion: Vec<u16>,
+    last_progress: u64,
+}
+
+fn run(scheme: &Scheme, routing: Routing, p: f64, r1: f64, exhaustive: bool) -> Fingerprint {
+    let cfg = SimConfig::table1();
+    let (region, scenario) = two_app(&cfg, p, 0.05, r1);
+    let mut net = Network::new(
+        cfg,
+        region,
+        routing.build(),
+        scheme.build(),
+        Box::new(scenario),
+        42,
+    );
+    net.set_force_exhaustive(exhaustive);
+    net.run(1_200);
+    Fingerprint {
+        injected_packets: net.stats.injected_packets.clone(),
+        injected_flits: net.stats.injected_flits,
+        ejected_flits: net.stats.ejected_flits,
+        delivered: net.stats.recorder.delivered(),
+        apl: (0..2)
+            .map(|a| net.stats.recorder.app(a).mean(LatencyKind::Network))
+            .collect(),
+        overall_network: net.stats.recorder.overall_mean(LatencyKind::Network),
+        overall_total: net.stats.recorder.overall_mean(LatencyKind::Total),
+        congestion: net.congestion_snapshot().to_vec(),
+        last_progress: net.stats.last_progress,
+    }
+}
+
+#[test]
+fn fast_path_is_bit_identical_across_matrix() {
+    // Light, moderate and near-saturating loads for the heavy app.
+    let loads = [(0.2, 0.02), (0.8, 0.15), (1.0, 0.35)];
+    for scheme in all_schemes() {
+        for routing in [Routing::Xy, Routing::Local, Routing::Dbar] {
+            for &(p, r1) in &loads {
+                let fast = run(&scheme, routing, p, r1, false);
+                let slow = run(&scheme, routing, p, r1, true);
+                assert_eq!(
+                    fast,
+                    slow,
+                    "fast/exhaustive divergence: {} {:?} p={} r1={}",
+                    scheme.label(),
+                    routing,
+                    p,
+                    r1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_actually_skips_work() {
+    let cfg = SimConfig::table1();
+    let (region, scenario) = two_app(&cfg, 0.2, 0.01, 0.02);
+    let mut net = Network::new(
+        cfg,
+        region,
+        Routing::Local.build(),
+        Scheme::rair().build(),
+        Box::new(scenario),
+        42,
+    );
+    net.run(1_200);
+    assert!(
+        net.stats.router_cycles_skipped > 0,
+        "light load must elide router visits"
+    );
+    assert!(net.stats.state_updates_skipped > 0);
+
+    // And the exhaustive mode really is exhaustive.
+    let cfg = SimConfig::table1();
+    let (region, scenario) = two_app(&cfg, 0.2, 0.01, 0.02);
+    let mut net = Network::new(
+        cfg,
+        region,
+        Routing::Local.build(),
+        Scheme::rair().build(),
+        Box::new(scenario),
+        42,
+    );
+    net.set_force_exhaustive(true);
+    net.run(1_200);
+    assert_eq!(net.stats.router_cycles_skipped, 0);
+    assert_eq!(net.stats.state_updates_skipped, 0);
+}

@@ -29,7 +29,14 @@ const RATE_HEAVY: f64 = 0.33;
 fn two_app_apl(scheme: &Scheme, routing: Routing, p: f64) -> [f64; 2] {
     let cfg = SimConfig::table1();
     let (region, scenario) = two_app(&cfg, p, RATE_LIGHT, RATE_HEAVY);
-    let net = build_network(&cfg, &region, scheme, routing, Box::new(scenario), ec().seed);
+    let net = build_network(
+        &cfg,
+        &region,
+        scheme,
+        routing,
+        Box::new(scenario),
+        ec().seed,
+    );
     let r = run_one("t", net, &ec());
     [r.app_apl(0), r.app_apl(1)]
 }
@@ -44,7 +51,10 @@ fn fig9_shape_rair_accelerates_interregion_traffic() {
     let gain_va = 1.0 - va[0] / base[0];
     assert!(gain_full > 0.10, "full RAIR gain {gain_full}");
     // Enforcing prioritization at more stages must help more (Fig. 9).
-    assert!(gain_full > gain_va, "VA+SA {gain_full} <= VA-only {gain_va}");
+    assert!(
+        gain_full > gain_va,
+        "VA+SA {gain_full} <= VA-only {gain_va}"
+    );
     assert!(gain_va > 0.0, "VA-only should still help ({gain_va})");
     // The heavy app pays a bounded price (paper: <3%; we allow <20%).
     assert!(full[1] / base[1] < 1.20, "heavy app penalty too large");
@@ -89,7 +99,14 @@ fn dpa_scenario_reduction(scheme: &Scheme, variant: char) -> f64 {
         } else {
             four_app_dpa_b(&cfg, low, high)
         };
-        build_network(&cfg, &region, s, Routing::Local, Box::new(scenario), ec().seed)
+        build_network(
+            &cfg,
+            &region,
+            s,
+            Routing::Local,
+            Box::new(scenario),
+            ec().seed,
+        )
     };
     let base = run_one("base", build(&Scheme::RoRr), &ec());
     let r = run_one("s", build(scheme), &ec());
@@ -105,16 +122,25 @@ fn fig12_shape_neither_fixed_policy_wins_both() {
     let foreign_a = dpa_scenario_reduction(&Scheme::rair_foreign_high(), 'a');
     let dpa_a = dpa_scenario_reduction(&Scheme::rair(), 'a');
     // (a): foreign-high wins, DPA matches it.
-    assert!(foreign_a > native_a, "(a) foreign {foreign_a} vs native {native_a}");
+    assert!(
+        foreign_a > native_a,
+        "(a) foreign {foreign_a} vs native {native_a}"
+    );
     assert!(dpa_a > native_a);
-    assert!(dpa_a > foreign_a - 0.03, "(a) DPA {dpa_a} far below ForeignH {foreign_a}");
+    assert!(
+        dpa_a > foreign_a - 0.03,
+        "(a) DPA {dpa_a} far below ForeignH {foreign_a}"
+    );
     assert!(dpa_a > 0.03, "(a) DPA should give a real gain, got {dpa_a}");
 
     let native_b = dpa_scenario_reduction(&Scheme::rair_native_high(), 'b');
     let foreign_b = dpa_scenario_reduction(&Scheme::rair_foreign_high(), 'b');
     let dpa_b = dpa_scenario_reduction(&Scheme::rair(), 'b');
     // (b): native-high wins, DPA tracks the better policy.
-    assert!(native_b > foreign_b, "(b) native {native_b} vs foreign {foreign_b}");
+    assert!(
+        native_b > foreign_b,
+        "(b) native {native_b} vs foreign {foreign_b}"
+    );
     assert!(dpa_b > foreign_b, "(b) DPA {dpa_b} vs ForeignH {foreign_b}");
 }
 
@@ -162,7 +188,10 @@ fn fig17_shape_rair_protects_against_adversary() {
     // tolerance between the two prioritizing schemes for window noise).
     assert!(s_rair < s_rank * 1.05, "RAIR {s_rair} vs Rank {s_rank}");
     assert!(s_rank < s_rr, "Rank {s_rank} vs RR {s_rr}");
-    assert!(s_rair < s_rr * 0.7, "RAIR should cut the slowdown substantially");
+    assert!(
+        s_rair < s_rr * 0.7,
+        "RAIR should cut the slowdown substantially"
+    );
     assert!(s_rair > 1.0, "an attack still costs something");
 }
 

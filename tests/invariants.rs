@@ -146,6 +146,35 @@ proptest! {
         prop_assert_eq!(count, trace.events.len());
     }
 
+    /// The active-set fast path is bit-identical to the exhaustive scan:
+    /// for any scheme × routing × load, forcing the exhaustive tick yields
+    /// the same traffic statistics (the skip counters legitimately differ,
+    /// so they are excluded from the comparison).
+    #[test]
+    fn fast_path_matches_exhaustive(
+        scheme in any_scheme(),
+        routing in any_routing(),
+        p in 0.0f64..=1.0,
+        r0 in 0.005f64..0.15,
+        r1 in 0.005f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let run = |exhaustive: bool| {
+            let mut net = build(&scheme, routing, p, r0, r1, seed);
+            net.set_force_exhaustive(exhaustive);
+            net.run(1_500);
+            (
+                net.stats.injected_flits,
+                net.stats.ejected_flits,
+                net.stats.recorder.delivered(),
+                net.stats.recorder.overall_mean(LatencyKind::Network),
+                net.stats.recorder.overall_mean(LatencyKind::Total),
+                net.congestion_snapshot().to_vec(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
     /// DPA hysteresis is well-behaved for arbitrary occupancy sequences:
     /// the output only changes when the ratio leaves the hysteresis band,
     /// and flipping the flow roles flips the decision (symmetry).
@@ -175,6 +204,60 @@ proptest! {
     }
 }
 
+/// Once the network drains, the active set must be empty, and further
+/// cycles must skip every router in every phase and every state update —
+/// the quiescent network costs O(1) per tick, not O(routers).
+#[test]
+fn active_set_empties_on_drain() {
+    struct StopAfter<S> {
+        inner: S,
+        stop: u64,
+    }
+    impl<S: TrafficSource> TrafficSource for StopAfter<S> {
+        fn num_apps(&self) -> usize {
+            self.inner.num_apps()
+        }
+        fn generate(
+            &mut self,
+            n: NodeId,
+            c: u64,
+            rng: &mut rand::rngs::SmallRng,
+        ) -> Option<NewPacket> {
+            (c < self.stop)
+                .then(|| self.inner.generate(n, c, rng))
+                .flatten()
+        }
+    }
+    let cfg = SimConfig::table1();
+    let (region, scenario) = two_app(&cfg, 0.5, 0.05, 0.2);
+    let mut net = Network::new(
+        cfg,
+        region,
+        Routing::Local.build(),
+        Scheme::rair().build(),
+        Box::new(StopAfter {
+            inner: scenario,
+            stop: 1_000,
+        }),
+        7,
+    );
+    net.run(9_000);
+    assert!(
+        net.is_drained(),
+        "{} flits stranded",
+        net.flits_in_network()
+    );
+    assert_eq!(net.active_routers(), 0, "drained net has active routers");
+
+    // Every further tick elides all 64 routers in all three phases and
+    // skips all 64 state updates.
+    let phase_base = net.stats.router_cycles_skipped;
+    let update_base = net.stats.state_updates_skipped;
+    net.run(100);
+    assert_eq!(net.stats.router_cycles_skipped - phase_base, 100 * 64 * 3);
+    assert_eq!(net.stats.state_updates_skipped - update_base, 100 * 64);
+}
+
 /// Starvation freedom: under sustained heavy native load, a single foreign
 /// packet stream still makes progress with every RAIR variant except the
 /// (intentionally unfair) fixed-NativeH ablation.
@@ -200,7 +283,12 @@ fn no_starvation_with_dpa() {
             delivered_light
         );
         // And its latency is finite/sane, not a starvation artifact.
-        let apl = net.stats.recorder.app(0).mean(LatencyKind::Network).unwrap();
+        let apl = net
+            .stats
+            .recorder
+            .app(0)
+            .mean(LatencyKind::Network)
+            .unwrap();
         assert!(apl < 500.0, "{}: light app APL {}", scheme.label(), apl);
     }
 }

@@ -1,0 +1,124 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API the `bench`
+//! crate uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function(|b| b.iter(..))`, `criterion_group!`/`criterion_main!`
+//! and `black_box`. No statistics beyond mean/min/max, no HTML reports —
+//! results print as `group/name  mean ±(min..max)` per line.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `f` for `sample_size` timed samples (one iteration per sample
+    /// after one untimed warm-up) and print the timings.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            warmed: false,
+        };
+        for _ in 0..self.sample_size + 1 {
+            f(&mut b);
+        }
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len().max(1) as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{:<28} mean {:>12?}  (min {:?} .. max {:?}, n={})",
+            self.name,
+            id,
+            mean,
+            min,
+            max,
+            b.samples.len()
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmed: bool,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (the first call per bench function
+    /// is discarded as warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        let dt = start.elapsed();
+        if self.warmed {
+            self.samples.push(dt);
+        } else {
+            self.warmed = true;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_sample_size_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u32;
+        g.sample_size(5).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // warm-up + 5 samples
+        assert_eq!(runs, 6);
+    }
+}

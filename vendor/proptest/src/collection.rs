@@ -1,0 +1,42 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+
+pub struct VecStrategy<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+/// `Vec` of values from `elem`, with a length drawn uniformly from `len`.
+/// Taking a concrete `Range<usize>` (rather than a generic length strategy)
+/// lets integer literals like `1..40` infer `usize` at the call site.
+pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = vec((0u16..64, 0u16..64), 1usize..40);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 64 && b < 64));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the `proptest!` macro, `Strategy` over ranges / tuples /
+//! `collection::vec` / `Just` / `prop_oneof!`, `ProptestConfig::with_cases`,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case reports its generated inputs verbatim;
+//! - case generation is seeded deterministically from the test name, so
+//!   runs are reproducible by construction (no `PROPTEST_*` env handling);
+//! - `prop_assume!` rejects by unwinding with a sentinel payload the runner
+//!   recognizes, rather than a `TestCaseError::Reject` return.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod runner {
+    use crate::ProptestConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Panic payload used by `prop_assume!` to signal a rejected case.
+    pub const REJECT_SENTINEL: &str = "__proptest_stub_assume_reject__";
+
+    pub fn is_reject(payload: &(dyn std::any::Any + Send)) -> bool {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| *s == REJECT_SENTINEL)
+            .or_else(|| {
+                payload
+                    .downcast_ref::<String>()
+                    .map(|s| s == REJECT_SENTINEL)
+            })
+            .unwrap_or(false)
+    }
+
+    /// FNV-1a so each test gets a distinct but stable RNG stream.
+    fn seed_of(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive `case` until `cfg.cases` runs were accepted. Rejections
+    /// (via `prop_assume!`) retry with fresh inputs, up to a global cap.
+    pub fn run(name: &str, cfg: &ProptestConfig, case: impl Fn(&mut SmallRng)) {
+        let mut rng = SmallRng::seed_from_u64(seed_of(name));
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = cfg.cases.saturating_mul(32).max(1024);
+        while accepted < cfg.cases {
+            match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+                Ok(()) => accepted += 1,
+                Err(payload) if is_reject(payload.as_ref()) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "{name}: prop_assume! rejected {rejected} cases \
+                         (accepted only {accepted}/{})",
+                        cfg.cases
+                    );
+                }
+                Err(payload) => {
+                    eprintln!("proptest: {name} failed after {accepted} passing case(s)");
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// The proptest entry macro: each `fn` becomes a `#[test]` (the attribute is
+/// written in the block, as real proptest expects) that runs its body over
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::runner::run(stringify!($name), &__cfg, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let __res = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(__payload) = __res {
+                        if !$crate::runner::is_reject(__payload.as_ref()) {
+                            eprintln!("proptest inputs: {__inputs}");
+                        }
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies of one common type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(vec![ $($s),+ ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Reject the current case (retry with new inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            ::std::panic::panic_any($crate::runner::REJECT_SENTINEL);
+        }
+    };
+}

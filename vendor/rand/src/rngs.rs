@@ -1,0 +1,66 @@
+//! Concrete generators. `SmallRng` is xoshiro256++, the same algorithm the
+//! real `rand` crate's `SmallRng` uses on 64-bit platforms.
+
+use crate::{RngCore, SeedableRng};
+
+/// Small, fast, non-cryptographic generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to seed xoshiro state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ with state [1, 2, 3, 4]: first outputs from the
+        // reference implementation (Blackman & Vigna).
+        let mut r = SmallRng { s: [1, 2, 3, 4] };
+        let expected = [41943041u64, 58720359, 3588806011781223, 3591011842654386];
+        for e in expected {
+            assert_eq!(r.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn state_never_all_zero_after_seeding() {
+        for seed in 0..64 {
+            let r = SmallRng::seed_from_u64(seed);
+            assert_ne!(r.s, [0; 4], "seed {seed}");
+        }
+    }
+}

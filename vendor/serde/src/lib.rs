@@ -1,0 +1,35 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace only uses serde as a *bound* (`T: Serialize +
+//! DeserializeOwned`) and as derives on config/result structs so they stay
+//! serialization-ready; nothing actually serializes at runtime in this
+//! container (no disk/wire format is produced by tier-1). The facade keeps
+//! those bounds and derives compiling without the real crates-io dependency:
+//! both traits are blanket-implemented for every type, and the re-exported
+//! derive macros expand to nothing.
+//!
+//! If a future PR needs real serialization, replace this vendor crate with
+//! genuine serde sources; the API surface here is bound-compatible.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
