@@ -35,8 +35,16 @@ impl TrafficSource for Flood {
 
 /// A fresh single-region mesh driven by `Flood { rate }` (or idle when
 /// `rate == 0.0`), optionally forced onto the exhaustive-scan tick path.
-fn flood_net(rate: f64, exhaustive: bool) -> Network {
-    let cfg = SimConfig::table1();
+/// `oracle`: `None` = build-default resolution, `Some(false)` = explicitly
+/// disabled (the zero-cost early-out), `Some(true)` = forced per-cycle
+/// checking.
+fn flood_net_oracle(rate: f64, exhaustive: bool, oracle: Option<bool>) -> Network {
+    let mut cfg = SimConfig::table1();
+    match oracle {
+        Some(true) => cfg.oracle = OracleConfig::forced(),
+        Some(false) => cfg.oracle.enabled = Some(false),
+        None => {}
+    }
     let source: Box<dyn TrafficSource> = if rate > 0.0 {
         Box::new(Flood { rate })
     } else {
@@ -52,6 +60,10 @@ fn flood_net(rate: f64, exhaustive: bool) -> Network {
     );
     net.set_force_exhaustive(exhaustive);
     net
+}
+
+fn flood_net(rate: f64, exhaustive: bool) -> Network {
+    flood_net_oracle(rate, exhaustive, None)
 }
 
 /// Print what the active-set fast path elides at this load.
@@ -121,6 +133,18 @@ fn micro(c: &mut Criterion) {
             g.bench_function(&format!("tick_1k_{label}_{mode}"), |b| {
                 b.iter(|| {
                     let mut net = flood_net(rate, exhaustive);
+                    net.run(1_000);
+                    net.stats.recorder.delivered()
+                })
+            });
+        }
+        // The oracle cost model: explicitly disabled must be within noise
+        // of the build default (one null-check per tick); forced per-cycle
+        // checking shows the full instrumentation cost.
+        for (mode, oracle) in [("oracle_off", Some(false)), ("oracle_forced", Some(true))] {
+            g.bench_function(&format!("tick_1k_{label}_{mode}"), |b| {
+                b.iter(|| {
+                    let mut net = flood_net_oracle(rate, false, oracle);
                     net.run(1_000);
                     net.stats.recorder.delivered()
                 })

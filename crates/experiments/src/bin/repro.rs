@@ -2,19 +2,24 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--seed N] [--csv] <experiment>...
+//! repro [--quick] [--seed N] [--csv] [--oracle] <experiment>...
 //! ```
 //! where `<experiment>` is one of `table1`, `fig9`, `fig10`, `fig12`,
-//! `fig14`, `fig15`, `fig17`, `lbdr`, `ablation-delta`,
+//! `fig14`, `fig15`, `fig17`, `lbdr`, `oracle`, `ablation-delta`,
 //! `ablation-vcsplit`, or `all`.
+//!
+//! `--oracle` force-enables the invariant oracle for every simulation of
+//! the invocation (equivalent to `RAIR_ORACLE=1`); the `oracle` experiment
+//! additionally runs the dedicated scheme × routing verification matrix
+//! with per-cycle checking.
 
 use experiments::figs;
 use experiments::runner::ExpConfig;
 use metrics::Table;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|curve|trace-demo|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] [--oracle] \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
@@ -39,6 +44,12 @@ fn main() -> ExitCode {
                 }
             },
             "--csv" => csv = true,
+            "--oracle" => {
+                // Every Network built by this process resolves the toggle
+                // through SimConfig::oracle / RAIR_ORACLE, so the env var
+                // reaches all experiment drivers without threading a flag.
+                std::env::set_var("RAIR_ORACLE", "1");
+            }
             "--trace-file" => match args.next() {
                 Some(p) => trace_file = p,
                 None => {
@@ -162,6 +173,23 @@ fn main() -> ExitCode {
                     r.avg_slowdown("RO_Rank"),
                     r.avg_slowdown("RA_RAIR"),
                 );
+            }
+            "oracle" => {
+                let m = figs::oracle_check::run(&ec);
+                emit(&figs::oracle_check::table(&m));
+                println!(
+                    "{}",
+                    metrics::report::oracle_summary(true, m.total_violations())
+                );
+                println!(
+                    "oracle overhead (per-cycle checking, wall time on/off): \
+                     {:.2}x at low load, {:.2}x at high load\n",
+                    m.overhead.0, m.overhead.1
+                );
+                if m.total_violations() > 0 {
+                    eprintln!("[repro] ORACLE FOUND VIOLATIONS — kernel invariants broken");
+                    return ExitCode::FAILURE;
+                }
             }
             "trace-demo" => trace_demo(&ec, &trace_file, csv),
             "curve" => {

@@ -11,6 +11,7 @@ pub mod fig15;
 pub mod fig17;
 pub mod fig9;
 pub mod lbdr_analysis;
+pub mod oracle_check;
 pub mod table1;
 
 use crate::runner::ExpConfig;

@@ -1,0 +1,139 @@
+//! Oracle verification matrix: run the real (unmutated) kernel across the
+//! scheme × routing × load grid with every invariant checker force-enabled
+//! and report the violation count per cell — the "prove the simulator
+//! clean" companion to the fault-injection differential tests.
+//!
+//! Also measures the oracle's runtime overhead (enabled vs disabled wall
+//! time at a low and a high load), which backs the cost numbers quoted in
+//! EXPERIMENTS.md.
+
+use crate::runner::{run_one, ExpConfig, RunResult};
+use crate::sweep::build_network;
+use metrics::Table;
+use noc_sim::config::SimConfig;
+use noc_sim::oracle::OracleConfig;
+use rair::scheme::{Routing, Scheme};
+use std::time::Instant;
+use traffic::scenario::two_app;
+
+/// One (scheme, routing, load) cell of the verification matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    pub result: RunResult,
+    pub load: &'static str,
+}
+
+/// The matrix plus the measured enabled/disabled overhead probe.
+#[derive(Debug)]
+pub struct OracleMatrix {
+    pub cells: Vec<MatrixCell>,
+    /// Wall-time ratio oracle-on / oracle-off at (low, high) load.
+    pub overhead: (f64, f64),
+}
+
+impl OracleMatrix {
+    /// Total violations across every cell (must be 0 on a healthy kernel).
+    pub fn total_violations(&self) -> u64 {
+        self.cells.iter().map(|c| c.result.oracle_violations).sum()
+    }
+}
+
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::RoRr,
+        Scheme::RoAge,
+        Scheme::ro_rank(vec![0.1, 0.3]),
+        Scheme::rair(),
+    ]
+}
+
+const ROUTINGS: [Routing; 3] = [Routing::Xy, Routing::Local, Routing::Dbar];
+
+/// Loads as (p, rate0, rate1) for the two-application scenario: a lightly
+/// loaded mesh and one near App 1's saturation.
+const LOADS: [(&str, f64, f64, f64); 2] = [("low", 0.2, 0.02, 0.05), ("high", 1.0, 0.08, 0.30)];
+
+fn forced_cfg() -> SimConfig {
+    let mut cfg = SimConfig::table1();
+    // Record violations instead of panicking so the matrix reports a count
+    // per cell rather than dying on the first one.
+    cfg.oracle = OracleConfig::forced();
+    cfg
+}
+
+/// Run the full matrix with the oracle checking every cycle.
+pub fn run(ec: &ExpConfig) -> OracleMatrix {
+    let cycles = if ec.quick { 2_000 } else { 6_000 };
+    let warmup = cycles / 4;
+    let run_ec = ExpConfig {
+        warmup,
+        measure: cycles - warmup,
+        ..*ec
+    };
+    let cfg = forced_cfg();
+    let mut cells = Vec::new();
+    for scheme in schemes() {
+        for routing in ROUTINGS {
+            for &(load, p, r0, r1) in &LOADS {
+                let (region, scenario) = two_app(&cfg, p, r0, r1);
+                let net =
+                    build_network(&cfg, &region, &scheme, routing, Box::new(scenario), ec.seed);
+                let label = format!("{}/{}", scheme.label(), routing.label());
+                cells.push(MatrixCell {
+                    result: run_one(label, net, &run_ec),
+                    load,
+                });
+            }
+        }
+    }
+    let overhead = (overhead_probe(ec, LOADS[0]), overhead_probe(ec, LOADS[1]));
+    OracleMatrix { cells, overhead }
+}
+
+/// Wall-time ratio of an oracle-on run over an oracle-off run of the same
+/// configuration (RAIR/Local, `cycles` as in the matrix).
+fn overhead_probe(ec: &ExpConfig, (_, p, r0, r1): (&str, f64, f64, f64)) -> f64 {
+    let cycles = if ec.quick { 2_000 } else { 6_000 };
+    let mut times = [0.0f64; 2];
+    for (i, enabled) in [false, true].into_iter().enumerate() {
+        let mut cfg = SimConfig::table1();
+        cfg.oracle = if enabled {
+            OracleConfig::forced()
+        } else {
+            OracleConfig {
+                enabled: Some(false),
+                ..OracleConfig::default()
+            }
+        };
+        let (region, scenario) = two_app(&cfg, p, r0, r1);
+        let mut net = build_network(
+            &cfg,
+            &region,
+            &Scheme::rair(),
+            Routing::Local,
+            Box::new(scenario),
+            ec.seed,
+        );
+        let t = Instant::now();
+        net.run(cycles);
+        times[i] = t.elapsed().as_secs_f64();
+    }
+    times[1] / times[0].max(1e-9)
+}
+
+/// Render the matrix as a table with one row per cell.
+pub fn table(m: &OracleMatrix) -> Table {
+    let mut t = Table::new(
+        "Oracle verification matrix (violations must be 0)",
+        &["scheme/routing", "load", "delivered", "violations"],
+    );
+    for c in &m.cells {
+        t.row(vec![
+            c.result.label.clone(),
+            c.load.to_string(),
+            c.result.delivered.to_string(),
+            c.result.oracle_violations.to_string(),
+        ]);
+    }
+    t
+}

@@ -69,6 +69,10 @@ pub struct RunResult {
     pub router_cycles_skipped: u64,
     /// End-of-cycle router state updates elided.
     pub state_updates_skipped: u64,
+    /// Whether the invariant oracle was active during the run.
+    pub oracle_enabled: bool,
+    /// Invariant violations the oracle recorded (0 when disabled).
+    pub oracle_violations: u64,
 }
 
 impl RunResult {
@@ -132,6 +136,8 @@ pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> R
         routers: net.cfg.num_nodes(),
         router_cycles_skipped: net.stats.router_cycles_skipped,
         state_updates_skipped: net.stats.state_updates_skipped,
+        oracle_enabled: net.oracle_enabled(),
+        oracle_violations: net.stats.oracle_violation_count,
     }
 }
 
@@ -316,6 +322,8 @@ mod tests {
             routers: 64,
             router_cycles_skipped: 0,
             state_updates_skipped: 0,
+            oracle_enabled: false,
+            oracle_violations: 0,
         };
         assert!(r.app_apl(0).is_nan());
         assert_eq!(r.try_app_apl(0), None);

@@ -70,6 +70,35 @@ fn lbdr_reports_14_percent() {
 }
 
 #[test]
+fn oracle_experiment_reports_zero_violations() {
+    let out = repro()
+        .args(["--quick", "--oracle", "oracle"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Oracle verification matrix"), "{s}");
+    assert!(
+        s.contains("oracle: enabled — no invariant violations"),
+        "{s}"
+    );
+    assert!(s.contains("oracle overhead"), "{s}");
+    // Every matrix row (scheme/routing cells) reports zero violations.
+    let rows: Vec<&str> = s
+        .lines()
+        .filter(|l| l.contains("RO_") || l.contains("RA_"))
+        .collect();
+    assert_eq!(rows.len(), 24, "expected 4 schemes x 3 routings x 2 loads");
+    for line in rows {
+        assert!(line.trim_end().ends_with(" 0"), "nonzero cell: {line}");
+    }
+}
+
+#[test]
 fn trace_demo_roundtrips_through_file() {
     let dir = std::env::temp_dir().join("rair_repro_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

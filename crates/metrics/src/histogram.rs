@@ -78,6 +78,14 @@ impl Histogram {
         self.count += other.count;
     }
 
+    /// Fold every bucket into `d` (determinism fingerprints).
+    pub fn digest_into(&self, d: &mut crate::Digest) {
+        d.write_u64(self.count);
+        for &b in &self.buckets {
+            d.write_u64(b);
+        }
+    }
+
     /// Reset to empty.
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);

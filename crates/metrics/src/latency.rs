@@ -60,6 +60,14 @@ impl PerAppLatency {
         self.network_hist.merge(&other.network_hist);
         self.hops.merge(&other.hops);
     }
+
+    /// Fold every accumulator into `d` (determinism fingerprints).
+    pub fn digest_into(&self, d: &mut crate::Digest) {
+        self.network.digest_into(d);
+        self.total.digest_into(d);
+        self.network_hist.digest_into(d);
+        self.hops.digest_into(d);
+    }
 }
 
 /// Latency recorder for all applications in a run.
@@ -140,6 +148,16 @@ impl LatencyRecorder {
         self.apps.iter_mut().for_each(PerAppLatency::reset);
         self.delivered = 0;
         self.flits_delivered = 0;
+    }
+
+    /// Fold the whole recorder state into `d` (determinism fingerprints).
+    pub fn digest_into(&self, d: &mut crate::Digest) {
+        d.write_u64(self.apps.len() as u64);
+        for a in &self.apps {
+            a.digest_into(d);
+        }
+        d.write_u64(self.delivered);
+        d.write_u64(self.flits_delivered);
     }
 
     /// Merge another recorder (must track the same number of apps).

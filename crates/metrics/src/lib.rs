@@ -6,12 +6,14 @@
 //! mirror the rows/series of the paper's figures. Everything here is
 //! allocation-light so it can be updated on the simulator's hot path.
 
+pub mod digest;
 pub mod histogram;
 pub mod latency;
 pub mod report;
 pub mod stats;
 pub mod viz;
 
+pub use digest::Digest;
 pub use histogram::Histogram;
 pub use latency::{LatencyKind, LatencyRecorder, PerAppLatency};
 pub use report::Table;

@@ -106,6 +106,16 @@ impl Streaming {
     pub fn reset(&mut self) {
         *self = Self::new();
     }
+
+    /// Fold the full accumulator state into `d` (determinism fingerprints).
+    pub fn digest_into(&self, d: &mut crate::Digest) {
+        d.write_u64(self.count);
+        d.write_f64(self.mean);
+        d.write_f64(self.m2);
+        d.write_f64(self.min);
+        d.write_f64(self.max);
+        d.write_f64(self.sum);
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,15 @@ pub trait PriorityPolicy: Send + Sync {
     fn vc_tag_preference(&self, _router: &Router, _req: &ArbReq) -> Option<VcTag> {
         None
     }
+
+    /// Self-check of any policy-maintained router state, called by the
+    /// invariant oracle after the state-update phase. Return a description
+    /// of the inconsistency if the state violates the policy's own
+    /// transition rule (e.g. a priority bit that is not a fixed point of
+    /// its update on the current registers); `None` when consistent.
+    fn check_invariant(&self, _router: &Router) -> Option<String> {
+        None
+    }
 }
 
 /// Round-robin arbitration among requests with priorities.

@@ -1,6 +1,7 @@
 //! Simulator configuration, including the paper's Table 1 parameters.
 
 use crate::ids::{Coord, MsgClass, NodeId};
+use crate::oracle::OracleConfig;
 use crate::vc::{VcClass, VcTag};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,8 @@ pub struct SimConfig {
     pub mem_latency: u64,
     /// Cache block size in bytes (documentation only; implied by long_flits).
     pub block_bytes: usize,
+    /// Invariant-oracle toggle and tuning (see [`OracleConfig`]).
+    pub oracle: OracleConfig,
 }
 
 impl Default for SimConfig {
@@ -61,6 +64,7 @@ impl SimConfig {
             l2_latency: 6,
             mem_latency: 128,
             block_bytes: 64,
+            oracle: OracleConfig::default(),
         }
     }
 
@@ -166,6 +170,7 @@ impl SimConfig {
         if self.num_nodes() > NodeId::MAX as usize {
             return Err("too many nodes for NodeId".into());
         }
+        self.oracle.validate()?;
         Ok(())
     }
 }

@@ -43,6 +43,7 @@ pub mod flit;
 pub mod ids;
 pub mod network;
 pub mod node;
+pub mod oracle;
 pub mod region;
 pub mod router;
 pub mod routing;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::flit::{Flit, FlitKind, PacketInfo, ReplySpec};
     pub use crate::ids::{AppId, Coord, MsgClass, NodeId, Port, APP_NONE};
     pub use crate::network::Network;
+    pub use crate::oracle::{Fault, OracleConfig, OracleViolation};
     pub use crate::region::RegionMap;
     pub use crate::routing::{DbarAdaptive, DuatoLocalAdaptive, RoutingAlgorithm, XyRouting};
     pub use crate::source::{NewPacket, NoTraffic, ScriptedSource, TrafficSource};

@@ -46,11 +46,13 @@
 use crate::analysis::{AnalysisState, JourneyEvent};
 use crate::arbitration::{arbitrate_rr, ArbReq, ArbStage, PriorityPolicy};
 use crate::config::SimConfig;
-use crate::flit::{Flit, PacketInfo};
+use crate::flit::{Flit, FlitKind, PacketInfo};
 use crate::ids::{
-    opposite, NodeId, Port, NUM_PORTS, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST,
+    opposite, Coord, NodeId, Port, NUM_PORTS, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH,
+    PORT_WEST,
 };
 use crate::node::Node;
+use crate::oracle::{Fault, Oracle};
 use crate::region::RegionMap;
 use crate::router::Router;
 use crate::routing::{RoutingAlgorithm, SelectCtx};
@@ -60,11 +62,11 @@ use crate::vc::VcState;
 
 /// A flit in flight on a link, delivered next cycle.
 #[derive(Debug)]
-struct InFlight {
-    dst_router: usize,
-    in_port: Port,
-    vc: usize,
-    flit: Flit,
+pub(crate) struct InFlight {
+    pub(crate) dst_router: usize,
+    pub(crate) in_port: Port,
+    pub(crate) vc: usize,
+    pub(crate) flit: Flit,
 }
 
 /// A VA_out request gathered during the shared (read-only) pass.
@@ -99,14 +101,20 @@ pub struct Network {
     pub nodes: Vec<Node>,
     cycle: u64,
     next_pkt_id: u64,
-    in_flight: Vec<InFlight>,
-    eject_q: Vec<(usize, Flit)>,
-    credit_q: Vec<(usize, Port, usize)>,
+    pub(crate) in_flight: Vec<InFlight>,
+    pub(crate) eject_q: Vec<(usize, Flit)>,
+    pub(crate) credit_q: Vec<(usize, Port, usize)>,
     /// Previous-cycle adaptive occupancy per node (congestion view).
     congestion: Vec<u16>,
     pub stats: SimStats,
     /// Optional analysis instrumentation (None = zero-overhead fast path).
     analysis: Option<AnalysisState>,
+    /// Invariant oracle (`None` = disabled; the per-cycle cost of the
+    /// disabled oracle is one null-check).
+    oracle: Option<Box<Oracle>>,
+    /// Fault injection (differential harness): routers whose switch
+    /// allocator is frozen. `None` in any un-mutated network.
+    fault_frozen: Option<Box<[bool]>>,
     // Reusable scratch (perf: avoid per-cycle allocation).
     va_scratch: Vec<VaReq>,
     sa_scratch: Vec<SaCand>,
@@ -114,7 +122,7 @@ pub struct Network {
     /// occupied input VC. Maintained at the occupancy transition points
     /// (head arrival/injection, tail departure); the SA/VA/RC phases iterate
     /// only set bits, in ascending index order.
-    active_mask: Vec<u64>,
+    pub(crate) active_mask: Vec<u64>,
     /// Scratch list of active router indices, rebuilt per phase (a phase
     /// may shrink the set mid-iteration, so each phase snapshots it).
     active_scratch: Vec<u32>,
@@ -153,6 +161,10 @@ impl Network {
             .collect();
         let nodes = (0..n).map(|i| Node::new(&cfg, i as NodeId, seed)).collect();
         let num_apps = source.num_apps();
+        let oracle = cfg
+            .oracle
+            .resolve_enabled()
+            .then(|| Box::new(Oracle::from_config(&cfg, num_apps)));
         Self {
             region,
             routing,
@@ -168,6 +180,8 @@ impl Network {
             congestion: vec![0; n],
             stats: SimStats::new(num_apps),
             analysis: None,
+            oracle,
+            fault_frozen: None,
             va_scratch: Vec::new(),
             sa_scratch: Vec::new(),
             active_mask: vec![0; n.div_ceil(64)],
@@ -234,9 +248,22 @@ impl Network {
         self.cycle
     }
 
+    /// Does mesh port `p` of the router at `c` lead to an in-bounds
+    /// neighbor (i.e. is it a physical link, not a mesh edge)?
+    #[inline]
+    pub(crate) fn port_in_bounds(cfg: &SimConfig, c: Coord, p: Port) -> bool {
+        match p {
+            PORT_NORTH => c.y > 0,
+            PORT_SOUTH => (c.y as usize) < cfg.height as usize - 1,
+            PORT_EAST => (c.x as usize) < cfg.width as usize - 1,
+            PORT_WEST => c.x > 0,
+            _ => false,
+        }
+    }
+
     /// Mesh-neighbor router index through output port `p`.
     #[inline]
-    fn neighbor(cfg: &SimConfig, idx: usize, p: Port) -> usize {
+    pub(crate) fn neighbor(cfg: &SimConfig, idx: usize, p: Port) -> usize {
         let w = cfg.width as usize;
         match p {
             PORT_NORTH => idx - w,
@@ -257,10 +284,166 @@ impl Network {
         self.rc_phase();
         self.inject_phase();
         self.update_state_phase();
+        if self.oracle.is_some() {
+            self.flush_oracle(false);
+        }
         if let Some(a) = &mut self.analysis {
             a.cycles += 1;
         }
         self.cycle += 1;
+    }
+
+    /// Run the oracle's end-of-cycle checks (interval-gated unless
+    /// `force`d), move any violations into `stats` and honor the
+    /// panic-on-violation setting. Returns the number of new violations.
+    fn flush_oracle(&mut self, force: bool) -> usize {
+        let Some(mut oracle) = self.oracle.take() else {
+            return 0;
+        };
+        oracle.run_end_of_cycle(self, force);
+        let new = oracle.take_pending();
+        let panic_on = oracle.panic_on_violation();
+        let cap = oracle.max_recorded();
+        self.oracle = Some(oracle);
+        let n = new.len();
+        if n > 0 {
+            self.stats.oracle_violation_count += n as u64;
+            for v in new {
+                if self.stats.oracle_violations.len() < cap {
+                    self.stats.oracle_violations.push(v);
+                }
+            }
+            if panic_on {
+                panic!(
+                    "invariant oracle: {} violation(s) at cycle {}:\n{}",
+                    self.stats.oracle_violation_count,
+                    self.cycle,
+                    self.stats
+                        .oracle_violations
+                        .iter()
+                        .map(|v| format!("  {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
+        }
+        n
+    }
+
+    /// Force every oracle checker to run right now (ignoring the check
+    /// interval) and flush the results into `stats`. Returns the number of
+    /// violations found; 0 when the oracle is disabled.
+    pub fn check_oracle_now(&mut self) -> usize {
+        self.flush_oracle(true)
+    }
+
+    /// Whether the invariant oracle is active for this network.
+    pub fn oracle_enabled(&self) -> bool {
+        self.oracle.is_some()
+    }
+
+    /// Corrupt the simulation state for the differential test harness.
+    ///
+    /// Each fault is a *single, surgical* violation of exactly one protocol
+    /// rule, so the harness can assert which checker catches it. Returns
+    /// `false` when the fault is not applicable to the current state (e.g.
+    /// no flit in the named VC) — callers retry elsewhere.
+    pub fn inject_fault(&mut self, fault: Fault) -> bool {
+        match fault {
+            // Lose one credit: upstream believes the downstream buffer is
+            // fuller than it is. Breaks credit conservation only.
+            Fault::DropCredit { router, port, vc } => {
+                let r = &mut self.routers[router];
+                if port == PORT_LOCAL
+                    || !Self::port_in_bounds(&self.cfg, r.coord, port)
+                    || r.credits[port][vc] == 0
+                {
+                    return false;
+                }
+                r.credits[port][vc] -= 1;
+                true
+            }
+            // Re-append a copy of the front flit: the buffer now carries a
+            // repeated sequence number (wormhole contiguity) and one more
+            // flit than was ever injected (flit conservation).
+            Fault::DuplicateFlit { router, port, vc } => {
+                let ivc = &mut self.routers[router].inputs[port][vc];
+                let Some(&front) = ivc.buf.front() else {
+                    return false;
+                };
+                if ivc.buf.len() >= self.cfg.vc_depth {
+                    return false;
+                }
+                ivc.buf.push_back(front);
+                true
+            }
+            // Teleport a single-flit packet one unproductive hop, keeping
+            // every counter consistent (the upstream credit is spent, the
+            // flit stays in flight): only routing legality is broken.
+            Fault::MisrouteFlit { router, port, vc } => {
+                let cur = self.routers[router].coord;
+                {
+                    let ivc = &self.routers[router].inputs[port][vc];
+                    if ivc.buf.len() != 1
+                        || ivc.buf[0].kind != FlitKind::Single
+                        || matches!(ivc.state, VcState::Active { .. })
+                    {
+                        return false;
+                    }
+                }
+                let dst = self
+                    .cfg
+                    .coord_of(self.routers[router].inputs[port][vc].buf[0].info.dst);
+                let Some(out) = [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST]
+                    .into_iter()
+                    .find(|&p| {
+                        Self::port_in_bounds(&self.cfg, cur, p)
+                            && crate::routing::step(cur, p).hops_to(dst) >= cur.hops_to(dst)
+                            && self.routers[router].out_alloc[p][vc].is_none()
+                            && self.routers[router].credits[p][vc] == self.cfg.vc_depth
+                    })
+                else {
+                    return false;
+                };
+                let nb = Self::neighbor(&self.cfg, router, out);
+                {
+                    // Defensive: the credit precondition already implies the
+                    // downstream VC is idle and no arrival is in flight.
+                    let divc = &self.routers[nb].inputs[opposite(out)][vc];
+                    if divc.occupied() {
+                        return false;
+                    }
+                }
+                let r = &mut self.routers[router];
+                let mut flit = r.inputs[port][vc].buf.pop_front().unwrap();
+                r.inputs[port][vc].state = VcState::Idle;
+                r.inputs[port][vc].holder = None;
+                r.note_vc_freed(port);
+                if r.occ_vcs == 0 {
+                    Self::mark_inactive(&mut self.active_mask, router);
+                }
+                r.credits[out][vc] -= 1;
+                flit.hops += 1;
+                self.in_flight.push(InFlight {
+                    dst_router: nb,
+                    in_port: opposite(out),
+                    vc,
+                    flit,
+                });
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.note_occupancy(router as NodeId, port, vc, false, self.cycle);
+                }
+                true
+            }
+            // Freeze the router's switch allocator: flits queue behind it
+            // forever. Caught by the deadlock/livelock watchdog.
+            Fault::FreezeRouter { router } => {
+                let n = self.routers.len();
+                self.fault_frozen
+                    .get_or_insert_with(|| vec![false; n].into_boxed_slice())[router] = true;
+                true
+            }
+        }
     }
 
     /// Run `cycles` cycles.
@@ -332,6 +515,13 @@ impl Network {
                 router.note_vc_occupied(a.in_port);
                 Self::mark_active(&mut self.active_mask, a.dst_router);
             }
+            if let Some(o) = self.oracle.as_deref_mut() {
+                let id = a.dst_router as NodeId;
+                o.note_arrival(&self.cfg, id, a.in_port, a.vc, &a.flit, self.cycle);
+                if newly_occupied {
+                    o.note_occupancy(id, a.in_port, a.vc, true, self.cycle);
+                }
+            }
         }
         let ejected = std::mem::take(&mut self.eject_q);
         for (n, flit) in ejected {
@@ -341,6 +531,9 @@ impl Network {
 
     fn consume_ejected(&mut self, node_idx: usize, flit: Flit) {
         self.stats.ejected_flits += 1;
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.note_eject(flit.info.app, self.cycle);
+        }
         if !flit.kind.is_tail() {
             return;
         }
@@ -393,6 +586,8 @@ impl Network {
             sa_scratch,
             cycle,
             analysis,
+            oracle,
+            fault_frozen,
             active_mask,
             active_scratch,
             force_exhaustive,
@@ -409,6 +604,10 @@ impl Network {
         );
         for &r_u32 in active_scratch.iter() {
             let r_idx = r_u32 as usize;
+            // Fault injection: a frozen switch allocator grants nothing.
+            if fault_frozen.as_ref().is_some_and(|f| f[r_idx]) {
+                continue;
+            }
             let r = &mut routers[r_idx];
             // Shared pass: collect candidates.
             sa_scratch.clear();
@@ -516,6 +715,9 @@ impl Network {
                     r.note_vc_freed(win.in_port);
                     if r.occ_vcs == 0 {
                         Self::mark_inactive(active_mask, r_idx);
+                    }
+                    if let Some(o) = oracle.as_deref_mut() {
+                        o.note_occupancy(r.id, win.in_port, win.in_vc, false, *cycle);
                     }
                 }
                 stats.last_progress = *cycle;
@@ -748,6 +950,7 @@ impl Network {
             next_pkt_id,
             cycle,
             analysis,
+            oracle,
             active_mask,
             ..
         } = self;
@@ -778,6 +981,12 @@ impl Network {
             }
             if let Some(ev) = node.try_inject(cfg, router, *cycle) {
                 stats.injected_flits += 1;
+                if let Some(o) = oracle.as_deref_mut() {
+                    o.note_inject(ev.app, *cycle);
+                    if ev.head {
+                        o.note_occupancy(node.id, PORT_LOCAL, ev.vc, true, *cycle);
+                    }
+                }
                 if ev.head {
                     // try_inject bumped the router's occupancy counters.
                     Self::mark_active(active_mask, i);
@@ -896,6 +1105,17 @@ impl Network {
     /// Name of the active priority policy.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// The active priority policy (the oracle's policy-invariant checker
+    /// consults it).
+    pub fn policy(&self) -> &dyn PriorityPolicy {
+        &*self.policy
+    }
+
+    /// Is router `idx` in the active set (has ≥ 1 occupied input VC)?
+    pub fn router_is_active(&self, idx: usize) -> bool {
+        self.active_mask[idx >> 6] >> (idx & 63) & 1 == 1
     }
 
     /// Name of the active routing algorithm.

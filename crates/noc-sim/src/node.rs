@@ -205,6 +205,7 @@ impl Node {
                     head: flit.kind.is_head(),
                     app: flit.info.app,
                     packet_id: flit.info.id,
+                    vc: p.vc,
                 };
                 if ev.head {
                     debug_assert!(!router.inputs[PORT_LOCAL][p.vc].occupied());
@@ -230,6 +231,8 @@ pub struct InjectedFlit {
     pub app: crate::ids::AppId,
     /// Packet the flit belongs to (for journey tracing).
     pub packet_id: u64,
+    /// Local input VC the flit was written into (for the oracle hooks).
+    pub vc: usize,
 }
 
 #[cfg(test)]

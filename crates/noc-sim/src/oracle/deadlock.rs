@@ -1,0 +1,155 @@
+//! Deadlock/livelock detection: a global no-progress watchdog with a
+//! wait-for-graph cycle search and per-VC residency ages for diagnosis.
+
+use super::{Checker, OracleViolation};
+use crate::config::SimConfig;
+use crate::ids::{opposite, NodeId, Port, NUM_PORTS, PORT_LOCAL};
+use crate::network::Network;
+use crate::vc::VcState;
+
+const UNOCCUPIED: u64 = u64::MAX;
+
+/// Flags the whole network making no crossbar/ejection progress for longer
+/// than `stall_horizon` (`crate::oracle::OracleConfig::stall_horizon`)
+/// while flits are present — the signature of both deadlock (cyclic waits)
+/// and total livelock (allocators spinning without moving anything).
+///
+/// On a stall it walks the wait-for graph (switch-allocated VC → the
+/// downstream input VC it feeds) looking for a cycle over VC holders; a
+/// found cycle names the deadlocked resources, its absence points at an
+/// allocation stall instead. The occupancy hooks additionally track how
+/// long each input VC has been claimed, and the report names the oldest
+/// one — a *diagnostic*, not a violation by itself: under strict-priority
+/// schemes a starved VC can legitimately wait unboundedly (the very
+/// interference the paper measures) while the network keeps progressing.
+#[derive(Debug)]
+pub struct DeadlockWatch {
+    horizon: u64,
+    vcs_per_port: usize,
+    /// Cycle each `(router, port, vc)` became occupied; [`UNOCCUPIED`] when
+    /// free. Diagnostic input to the stall report.
+    since: Vec<u64>,
+    /// `last_progress` value the global watchdog already reported for
+    /// (re-arm: one report per distinct stall, not one per check).
+    reported_progress: Option<u64>,
+}
+
+impl DeadlockWatch {
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self {
+            horizon: cfg.oracle.stall_horizon,
+            vcs_per_port: cfg.vcs_per_port(),
+            since: vec![UNOCCUPIED; cfg.num_nodes() * NUM_PORTS * cfg.vcs_per_port()],
+            reported_progress: None,
+        }
+    }
+
+    fn slot(&self, router: NodeId, port: Port, vc: usize) -> usize {
+        (router as usize * NUM_PORTS + port) * self.vcs_per_port + vc
+    }
+
+    /// Search the wait-for graph for a cycle: each switch-allocated
+    /// (`Active`) input VC waits on the downstream input VC its output
+    /// leads to. Returns the cycle as `(router, port, vc)` triples.
+    fn find_wait_cycle(&self, net: &Network) -> Option<Vec<(usize, Port, usize)>> {
+        let v = self.vcs_per_port;
+        let slots = net.routers.len() * NUM_PORTS * v;
+        // Functional graph: at most one successor per slot.
+        let mut next = vec![usize::MAX; slots];
+        for (i, r) in net.routers.iter().enumerate() {
+            for (port, vcs) in r.inputs.iter().enumerate() {
+                for (vc, ivc) in vcs.iter().enumerate() {
+                    let VcState::Active { out_port, out_vc } = ivc.state else {
+                        continue;
+                    };
+                    if out_port == PORT_LOCAL || !ivc.occupied() {
+                        continue;
+                    }
+                    let d = Network::neighbor(&net.cfg, i, out_port);
+                    next[(i * NUM_PORTS + port) * v + vc] =
+                        (d * NUM_PORTS + opposite(out_port)) * v + out_vc;
+                }
+            }
+        }
+        // Color-marking walk: 0 unvisited, 1 on current path, 2 done.
+        let mut color = vec![0u8; slots];
+        for start in 0..slots {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            while cur != usize::MAX && color[cur] == 0 {
+                color[cur] = 1;
+                path.push(cur);
+                cur = next[cur];
+            }
+            if cur != usize::MAX && color[cur] == 1 {
+                let pos = path.iter().position(|&s| s == cur).unwrap();
+                return Some(
+                    path[pos..]
+                        .iter()
+                        .map(|&s| (s / (NUM_PORTS * v), s / v % NUM_PORTS, s % v))
+                        .collect(),
+                );
+            }
+            for s in path {
+                color[s] = 2;
+            }
+        }
+        None
+    }
+}
+
+impl Checker for DeadlockWatch {
+    fn name(&self) -> &'static str {
+        "deadlock-livelock"
+    }
+
+    fn on_occupancy(&mut self, router: NodeId, port: Port, vc: usize, occupied: bool, cycle: u64) {
+        let slot = self.slot(router, port, vc);
+        self.since[slot] = if occupied { cycle } else { UNOCCUPIED };
+    }
+
+    fn end_of_cycle(&mut self, net: &Network, out: &mut Vec<OracleViolation>) {
+        let now = net.cycle();
+        let v = self.vcs_per_port;
+        let stalled = now.saturating_sub(net.stats.last_progress) > self.horizon;
+        if stalled
+            && net.flits_in_network() > 0
+            && self.reported_progress != Some(net.stats.last_progress)
+        {
+            self.reported_progress = Some(net.stats.last_progress);
+            let diagnosis = match self.find_wait_cycle(net) {
+                Some(cycle) => format!("wait-for cycle over VCs {cycle:?}"),
+                None => "no wait-for cycle (allocation stall or livelock)".into(),
+            };
+            let oldest = self
+                .since
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s != UNOCCUPIED)
+                .min_by_key(|&(_, &s)| s)
+                .map(|(slot, &s)| {
+                    format!(
+                        "; oldest stuck VC: router {} input ({}, {}) since cycle {s}",
+                        slot / (NUM_PORTS * v),
+                        slot / v % NUM_PORTS,
+                        slot % v
+                    )
+                })
+                .unwrap_or_default();
+            out.push(OracleViolation {
+                cycle: now,
+                checker: self.name(),
+                router: None,
+                detail: format!(
+                    "no crossbar progress since cycle {} with {} flits in flight; \
+                     {diagnosis}{oldest}",
+                    net.stats.last_progress,
+                    net.flits_in_network()
+                ),
+            });
+        }
+    }
+}

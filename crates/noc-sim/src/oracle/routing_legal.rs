@@ -1,0 +1,68 @@
+//! Per-hop routing legality: every link traversal is minimal, and escape
+//! VCs only ever carry dimension-order (Duato-legal) hops.
+
+use super::{Checker, OracleViolation};
+use crate::config::SimConfig;
+use crate::flit::Flit;
+use crate::ids::{opposite, NodeId, Port, PORT_LOCAL};
+use crate::routing::{escape_port, step};
+
+/// Checked at the arrival hook (the only place a hop's direction is still
+/// known): the upstream router is `step(here, in_port)`, and the hop it sent
+/// the flit over is `opposite(in_port)`.
+///
+/// * **Minimality** (all VCs): the hop must reduce the Manhattan distance to
+///   the destination by exactly one — both the adaptive routing functions
+///   and the escape path are minimal in this design.
+/// * **Duato legality** (escape VCs, index `< num_classes`): the hop must be
+///   exactly the dimension-order hop the escape sub-network prescribes at
+///   the upstream router, or the escape network's deadlock-freedom argument
+///   collapses.
+#[derive(Debug, Default)]
+pub struct RoutingLegality;
+
+impl Checker for RoutingLegality {
+    fn name(&self) -> &'static str {
+        "routing-legality"
+    }
+
+    fn on_arrival(
+        &mut self,
+        cfg: &SimConfig,
+        router: NodeId,
+        in_port: Port,
+        vc: usize,
+        flit: &Flit,
+        cycle: u64,
+        out: &mut Vec<OracleViolation>,
+    ) {
+        if in_port == PORT_LOCAL {
+            return; // injections are not link traversals
+        }
+        let here = cfg.coord_of(router);
+        let upstream = step(here, in_port);
+        let dst = cfg.coord_of(flit.info.dst);
+        if upstream.hops_to(dst) != here.hops_to(dst) + 1 {
+            out.push(OracleViolation {
+                cycle,
+                checker: self.name(),
+                router: Some(router),
+                detail: format!(
+                    "packet {} to {:?} took a non-minimal hop {:?} -> {:?}",
+                    flit.info.id, dst, upstream, here
+                ),
+            });
+        }
+        if vc < cfg.num_classes && escape_port(upstream, dst) != opposite(in_port) {
+            out.push(OracleViolation {
+                cycle,
+                checker: self.name(),
+                router: Some(router),
+                detail: format!(
+                    "packet {} to {:?} entered escape VC {vc} over a non-DOR hop {:?} -> {:?}",
+                    flit.info.id, dst, upstream, here
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Wormhole contiguity: per-VC flit ordering, the single-holder rule of
+//! atomic VCs, and the consistency of the incremental occupancy summary.
+
+use super::{Checker, OracleViolation};
+use crate::network::Network;
+use crate::vc::VcState;
+
+/// Structural checks over every input VC:
+///
+/// * occupied ⇔ a holder application is recorded (atomic VCs: one packet
+///   owns the VC from its head arriving to its tail departing),
+/// * all buffered flits belong to the holder's packet, with strictly
+///   consecutive sequence numbers and head/body/tail kinds matching their
+///   position in the packet,
+/// * a VC that has not yet been switch-allocated still holds its head flit
+///   at the front (flits never overtake within a packet),
+/// * buffer depth and credit counters stay within `vc_depth`,
+/// * the incremental occupancy summary (`occ_port`/`occ_vcs`) and the
+///   network's active bitmask agree with an exhaustive recount — the
+///   soundness condition of the active-set fast path.
+#[derive(Debug, Default)]
+pub struct WormholeContiguity;
+
+impl Checker for WormholeContiguity {
+    fn name(&self) -> &'static str {
+        "wormhole-contiguity"
+    }
+
+    fn end_of_cycle(&mut self, net: &Network, out: &mut Vec<OracleViolation>) {
+        let cfg = &net.cfg;
+        let cycle = net.cycle();
+        let mut flag = |router, detail: String| {
+            out.push(OracleViolation {
+                cycle,
+                checker: "wormhole-contiguity",
+                router: Some(router),
+                detail,
+            });
+        };
+        for (i, r) in net.routers.iter().enumerate() {
+            for (port, vcs) in r.inputs.iter().enumerate() {
+                for (vc, ivc) in vcs.iter().enumerate() {
+                    let at = |what: &str| format!("input ({port}, {vc}): {what}");
+                    if ivc.occupied() != ivc.holder.is_some() {
+                        flag(
+                            r.id,
+                            at(&format!(
+                                "holder {:?} disagrees with occupancy {}",
+                                ivc.holder,
+                                ivc.occupied()
+                            )),
+                        );
+                    }
+                    if ivc.buf.len() > cfg.vc_depth {
+                        flag(r.id, at(&format!("buffer holds {} flits", ivc.buf.len())));
+                    }
+                    if r.credits[port][vc] > cfg.vc_depth {
+                        flag(r.id, at(&format!("credit counter {}", r.credits[port][vc])));
+                    }
+                    let mut prev_seq = None;
+                    for f in &ivc.buf {
+                        if Some(f.info.app) != ivc.holder
+                            || ivc.buf.front().map(|h| h.info.id) != Some(f.info.id)
+                        {
+                            flag(
+                                r.id,
+                                at(&format!(
+                                    "flit of packet {} (app {}) in a VC held by {:?}",
+                                    f.info.id, f.info.app, ivc.holder
+                                )),
+                            );
+                        }
+                        if let Some(p) = prev_seq {
+                            if f.seq != p + 1 {
+                                flag(r.id, at(&format!("seq {} follows seq {p}", f.seq)));
+                            }
+                        }
+                        prev_seq = Some(f.seq);
+                        let last = f.info.size - 1;
+                        let kind_ok = (f.kind.is_head() == (f.seq == 0))
+                            && (f.kind.is_tail() == (f.seq == last))
+                            && f.seq <= last;
+                        if !kind_ok {
+                            flag(
+                                r.id,
+                                at(&format!(
+                                    "{:?} flit at seq {}/{} of packet {}",
+                                    f.kind, f.seq, f.info.size, f.info.id
+                                )),
+                            );
+                        }
+                    }
+                    // Until switch allocation, the head must lead the buffer.
+                    if ivc.state == VcState::Idle || matches!(ivc.state, VcState::Routed { .. }) {
+                        if let Some(front) = ivc.buf.front() {
+                            if !front.kind.is_head() {
+                                flag(
+                                    r.id,
+                                    at(&format!(
+                                        "front flit is {:?} (seq {}) before allocation",
+                                        front.kind, front.seq
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            let (per_port, total) = r.recount_occupancy_summary();
+            if per_port != r.occ_port || total != r.occ_vcs {
+                flag(
+                    r.id,
+                    format!(
+                        "occupancy summary {:?}/{} drifted from recount {:?}/{}",
+                        r.occ_port, r.occ_vcs, per_port, total
+                    ),
+                );
+            }
+            if net.router_is_active(i) != (total > 0) {
+                flag(
+                    r.id,
+                    format!(
+                        "active bit {} disagrees with {} occupied VCs",
+                        net.router_is_active(i),
+                        total
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Run-level statistics.
 
-use metrics::{LatencyKind, LatencyRecorder};
+use crate::oracle::OracleViolation;
+use metrics::{Digest, LatencyKind, LatencyRecorder};
 
 /// Statistics gathered during a simulation run.
 ///
@@ -31,6 +32,12 @@ pub struct SimStats {
     /// Per-router end-of-cycle state updates elided because the router's
     /// occupancy was unchanged (cumulative).
     pub state_updates_skipped: u64,
+    /// Invariant violations recorded by the oracle, capped at
+    /// `SimConfig::oracle.max_recorded` ([`Self::oracle_violation_count`]
+    /// keeps the uncapped total). Empty when the oracle is disabled.
+    pub oracle_violations: Vec<OracleViolation>,
+    /// Total invariant violations detected (uncapped).
+    pub oracle_violation_count: u64,
 }
 
 impl SimStats {
@@ -45,6 +52,8 @@ impl SimStats {
             last_progress: 0,
             router_cycles_skipped: 0,
             state_updates_skipped: 0,
+            oracle_violations: Vec::new(),
+            oracle_violation_count: 0,
         }
     }
 
@@ -63,6 +72,30 @@ impl SimStats {
     pub fn throughput(&self, now: u64, num_nodes: usize) -> f64 {
         let cycles = now.saturating_sub(self.measure_start).max(1);
         self.recorder.flits_delivered() as f64 / cycles as f64 / num_nodes as f64
+    }
+
+    /// Order-sensitive fingerprint of every simulation-visible statistic:
+    /// counters, window boundaries, oracle verdict and the full latency
+    /// recorder state. Identical runs (same config + seed) produce identical
+    /// digests in debug and release builds and with the fast path on or off
+    /// — the diagnostic skip counters are deliberately excluded, since they
+    /// measure elided work, not simulation outcome.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_u64(self.generated.len() as u64);
+        for &g in &self.generated {
+            d.write_u64(g);
+        }
+        for &p in &self.injected_packets {
+            d.write_u64(p);
+        }
+        d.write_u64(self.injected_flits);
+        d.write_u64(self.ejected_flits);
+        d.write_u64(self.measure_start);
+        d.write_u64(self.last_progress);
+        d.write_u64(self.oracle_violation_count);
+        self.recorder.digest_into(&mut d);
+        d.finish()
     }
 }
 
@@ -97,5 +130,30 @@ mod tests {
         // 320 flits over 100 cycles on 64 nodes = 0.05 flits/cycle/node.
         let t = s.throughput(200, 64);
         assert!((t - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let make = || {
+            let mut s = SimStats::new(2);
+            s.generated[0] = 10;
+            s.injected_flits = 50;
+            s.ejected_flits = 40;
+            s.recorder.record(0, 10, 12, 3, 1);
+            s.recorder.record(1, 7, 9, 2, 5);
+            s
+        };
+        assert_eq!(make().digest(), make().digest());
+        let mut other = make();
+        other.ejected_flits += 1;
+        assert_ne!(make().digest(), other.digest());
+        let mut other = make();
+        other.recorder.record(1, 7, 9, 2, 5);
+        assert_ne!(make().digest(), other.digest());
+        // The fast-path skip counters measure elided work, not outcome.
+        let mut other = make();
+        other.router_cycles_skipped = 123;
+        other.state_updates_skipped = 45;
+        assert_eq!(make().digest(), other.digest());
     }
 }

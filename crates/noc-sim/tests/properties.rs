@@ -189,3 +189,115 @@ proptest! {
         prop_assert_eq!(net.stats.recorder.delivered(), count * 2);
     }
 }
+
+/// Nodes inside DBAR's truncated lookahead window along direction `p` from
+/// `src`: every router stepped over until the destination's coordinate in
+/// the traversed dimension, stopping at (and including) the first router of
+/// a foreign region. Mirrors `DbarAdaptive::lookahead`'s read set.
+fn dbar_window(
+    cfg: &noc_sim::config::SimConfig,
+    region: &RegionMap,
+    src: Coord,
+    dst: Coord,
+    p: Port,
+) -> Vec<NodeId> {
+    use noc_sim::routing::step;
+    let my_region = region.app_of(cfg.node_at(src));
+    let mut c = src;
+    let mut window = Vec::new();
+    loop {
+        let at_dst_dim = match p {
+            noc_sim::ids::PORT_EAST | noc_sim::ids::PORT_WEST => c.x == dst.x,
+            _ => c.y == dst.y,
+        };
+        if at_dst_dim {
+            break;
+        }
+        c = step(c, p);
+        let node = cfg.node_at(c);
+        window.push(node);
+        if region.app_of(node) != my_region {
+            break;
+        }
+    }
+    window
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DBAR's defining property (paper §III.B): congestion generated
+    /// *outside* the truncated lookahead windows — in particular anywhere
+    /// beyond the packet's region boundary — never influences the selection
+    /// between candidate directions. Perturbing any set of out-of-window
+    /// nodes arbitrarily must leave the choice unchanged.
+    #[test]
+    fn dbar_truncation_ignores_outside_region_congestion(
+        sx in 0u8..8, sy in 0u8..8,
+        dx in 0u8..8, dy in 0u8..8,
+        cols in prop_oneof![Just(1u8), Just(2), Just(4)],
+        rows in prop_oneof![Just(1u8), Just(2), Just(4)],
+        base in proptest::collection::vec(0u16..12, 64..65),
+        noise in proptest::collection::vec(0u16..500, 64..65),
+    ) {
+        // Two productive directions — otherwise there is no selection.
+        prop_assume!(sx != dx && sy != dy);
+        let cfg = SimConfig::table1();
+        let region = RegionMap::grid(&cfg, cols, rows);
+        let src = Coord { x: sx, y: sy };
+        let dst = Coord { x: dx, y: dy };
+        let router = noc_sim::router::Router::new(
+            &cfg,
+            cfg.node_at(src),
+            src,
+            region.app_of(cfg.node_at(src)),
+        );
+        let dbar = DbarAdaptive;
+        let [a, b] = noc_sim::routing::productive_ports(src, dst);
+        let cands = [a.unwrap(), b.unwrap()];
+
+        let pick = |congestion: &[u16]| {
+            let ctx = noc_sim::routing::SelectCtx {
+                cfg: &cfg,
+                router: &router,
+                dst,
+                region: &region,
+                congestion,
+            };
+            noc_sim::routing::RoutingAlgorithm::select(&dbar, &ctx, &cands)
+        };
+        let baseline = pick(&base);
+
+        // Perturb every node *outside* both lookahead windows.
+        let mut in_window = [false; 64];
+        for &p in &cands {
+            for n in dbar_window(&cfg, &region, src, dst, p) {
+                in_window[n as usize] = true;
+            }
+        }
+        let mut perturbed = base.clone();
+        for n in 0..64 {
+            if !in_window[n] {
+                perturbed[n] = noise[n];
+            }
+        }
+        prop_assert_eq!(
+            pick(&perturbed), baseline,
+            "outside-window congestion changed DBAR's selection \
+             (src {:?} dst {:?} grid {}x{})",
+            src, dst, cols, rows
+        );
+
+        // Control: the windows themselves are live — zeroing one window and
+        // inflating the other must steer the choice to the zeroed side
+        // whenever both windows are non-empty.
+        let wa = dbar_window(&cfg, &region, src, dst, cands[0]);
+        let wb = dbar_window(&cfg, &region, src, dst, cands[1]);
+        if !wa.is_empty() && !wb.is_empty() {
+            let mut steered = base.clone();
+            for &n in &wa { steered[n as usize] = 0; }
+            for &n in &wb { steered[n as usize] = 400; }
+            prop_assert_eq!(pick(&steered), 0, "in-window congestion ignored");
+        }
+    }
+}

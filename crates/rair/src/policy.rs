@@ -103,6 +103,25 @@ impl PriorityPolicy for RairPolicy {
         );
     }
 
+    /// The DPA hysteresis bit must be a fixed point of its own transition
+    /// on the router's current occupancy registers: `update_router` runs
+    /// every cycle (or is elided exactly when occupancy is unchanged), so
+    /// any drift means a missed or corrupted state update.
+    fn check_invariant(&self, router: &Router) -> Option<String> {
+        let next = self.dpa.next_native_high(
+            router.dpa_native_high,
+            router.ovc_native,
+            router.ovc_foreign,
+        );
+        (next != router.dpa_native_high).then(|| {
+            format!(
+                "DPA priority bit {} is not a fixed point of its transition \
+                 (native={}, foreign={} => {})",
+                router.dpa_native_high, router.ovc_native, router.ovc_foreign, next
+            )
+        })
+    }
+
     /// Foreign traffic steers toward global VCs where it is guaranteed the
     /// high priority; native traffic prefers regional VCs.
     fn vc_tag_preference(&self, _router: &Router, req: &ArbReq) -> Option<VcTag> {
@@ -259,6 +278,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn check_invariant_flags_stale_priority_bit() {
+        let p = RairPolicy::full();
+        // After an update the bit is a fixed point → consistent.
+        let mut r = router_with_priority(false);
+        r.ovc_native = 10;
+        r.ovc_foreign = 13;
+        p.update_router(&mut r, 0);
+        assert!(p.check_invariant(&r).is_none());
+        // Flip the bit behind the policy's back → flagged.
+        r.dpa_native_high = !r.dpa_native_high;
+        let msg = p.check_invariant(&r).expect("stale bit must be flagged");
+        assert!(msg.contains("fixed point"), "{msg}");
+        // A fresh router with no traffic is trivially consistent.
+        assert!(p.check_invariant(&router_with_priority(false)).is_none());
     }
 
     #[test]

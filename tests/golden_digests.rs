@@ -1,0 +1,111 @@
+//! Golden-digest regression tests: small-configuration end-state digests
+//! pinned under `results/golden/`. A digest covers every counter and the
+//! full latency-recorder state (`SimStats::digest`), so *any* behavioral
+//! change to the kernel — arbitration order, routing choice, credit
+//! timing — flips the digest and fails here.
+//!
+//! When a change is intentional, regenerate the files and review the diff:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_digests
+//! ```
+//!
+//! The digest algorithm is a pinned FNV-1a (`metrics::Digest`), stable
+//! across Rust releases and debug/release builds.
+
+use noc_sim::network::Network;
+use noc_sim::prelude::*;
+use rair::prelude::*;
+use std::path::PathBuf;
+use traffic::prelude::*;
+
+const SEED: u64 = 0xC0FFEE;
+const WARMUP: u64 = 300;
+const MEASURE: u64 = 900;
+
+/// The pinned configurations: Table 1 mesh, two-application scenario at an
+/// inter-region fraction and load spread that exercises each routing.
+fn cases() -> Vec<(&'static str, Scheme, Routing, f64, f64, f64)> {
+    vec![
+        (
+            "table1_ro_rr_local_p100",
+            Scheme::RoRr,
+            Routing::Local,
+            1.0,
+            0.04,
+            0.15,
+        ),
+        (
+            "table1_rair_local_p100",
+            Scheme::rair(),
+            Routing::Local,
+            1.0,
+            0.04,
+            0.15,
+        ),
+        (
+            "table1_rair_dbar_p50",
+            Scheme::rair(),
+            Routing::Dbar,
+            0.5,
+            0.04,
+            0.15,
+        ),
+        (
+            "table1_ro_rank_xy_p50",
+            Scheme::ro_rank(vec![0.1, 0.3]),
+            Routing::Xy,
+            0.5,
+            0.04,
+            0.15,
+        ),
+    ]
+}
+
+fn run_case(scheme: &Scheme, routing: Routing, p: f64, r0: f64, r1: f64) -> u64 {
+    let cfg = SimConfig::table1();
+    let (region, scenario) = two_app(&cfg, p, r0, r1);
+    let mut net = Network::new(
+        cfg,
+        region,
+        routing.build(),
+        scheme.build(),
+        Box::new(scenario),
+        SEED,
+    );
+    net.run_warmup_measure(WARMUP, MEASURE);
+    net.stats.digest()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results/golden")
+        .join(format!("{name}.digest"))
+}
+
+#[test]
+fn golden_digests_match() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut mismatches = Vec::new();
+    for (name, scheme, routing, p, r0, r1) in cases() {
+        let digest = format!("{:016x}", run_case(&scheme, routing, p, r0, r1));
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, format!("{digest}\n")).unwrap();
+            eprintln!("[golden] wrote {name} = {digest}");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {path:?} ({e}); regenerate with UPDATE_GOLDEN=1")
+        });
+        if want.trim() != digest {
+            mismatches.push(format!("{name}: golden {} != actual {digest}", want.trim()));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden digest mismatch (intentional change? rerun with UPDATE_GOLDEN=1 and review):\n  {}",
+        mismatches.join("\n  ")
+    );
+}
