@@ -66,7 +66,7 @@ fn flood_net(rate: f64, exhaustive: bool) -> Network {
     flood_net_oracle(rate, exhaustive, None)
 }
 
-/// Print what the active-set fast path elides at this load.
+/// Print what the kernel fast paths elide at this load.
 fn report_skip(label: &str, rate: f64) {
     let mut net = flood_net(rate, false);
     net.run(1_000);
@@ -78,6 +78,8 @@ fn report_skip(label: &str, rate: f64) {
             net.stats.router_cycles_skipped,
             visits,
             net.stats.state_updates_skipped,
+            net.cycle(),
+            net.stats.idle_cycles_skipped,
         )
     );
 }
@@ -106,6 +108,16 @@ fn micro(c: &mut Criterion) {
                 Box::new(NoTraffic),
                 1,
             );
+            net.run(1_000);
+            net.cycle()
+        })
+    });
+    // The same idle mesh with the fast-forward disabled: measures what the
+    // event-driven jump saves over plain (active-set) ticking.
+    g.bench_function("idle_1k_cycles_no_ff", |b| {
+        b.iter(|| {
+            let mut net = flood_net(0.0, false);
+            net.set_fast_forward(false);
             net.run(1_000);
             net.cycle()
         })

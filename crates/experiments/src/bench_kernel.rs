@@ -1,0 +1,268 @@
+//! `repro bench-kernel` — kernel throughput benchmark across the
+//! scheme × routing matrix.
+//!
+//! Times the optimized kernel (idle fast-forward + active-set/bitset fast
+//! paths) against the exhaustive reference kernel on *identical* offered
+//! traffic (a trace captured once per load point and replayed into both),
+//! asserts the two produce bit-identical [`SimStats::digest`] values, and
+//! writes the machine-readable trajectory to `BENCH_kernel.json` so future
+//! changes can track kernel regressions.
+//!
+//! [`SimStats::digest`]: noc_sim::stats::SimStats::digest
+
+use crate::runner::ExpConfig;
+use crate::sweep::build_network;
+use metrics::Table;
+use noc_sim::config::SimConfig;
+use noc_sim::network::Network;
+use noc_sim::region::RegionMap;
+use noc_sim::source::NoTraffic;
+use rair::scheme::{Routing, Scheme};
+use std::time::Instant;
+use traffic::scenario::two_app;
+use traffic::trace::{Trace, TraceReplay};
+
+/// Nominal saturation anchor the load percentages are expressed against
+/// (flits/cycle/node) — a representative two-application saturation load on
+/// the Table 1 mesh, fixed so the bench is self-contained and comparable
+/// across machines without a saturation search.
+pub const NOMINAL_SAT: f64 = 0.30;
+
+/// One benchmark point: a (scheme, routing, load) cell timed under both
+/// kernels.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    pub scheme: String,
+    pub routing: &'static str,
+    /// Offered load as a percentage of [`NOMINAL_SAT`]; 0 marks the idle
+    /// (no-traffic) row.
+    pub load_pct: u32,
+    /// Simulated cycles per point (warmup + measurement).
+    pub cycles: u64,
+    /// Optimized-kernel throughput in simulated cycles per wall second.
+    pub fast_ticks_per_sec: f64,
+    /// Exhaustive reference-kernel throughput.
+    pub exhaustive_ticks_per_sec: f64,
+    /// `fast / exhaustive`.
+    pub speedup: f64,
+    /// Whole cycles the idle fast-forward jumped (optimized run).
+    pub idle_cycles_skipped: u64,
+    /// Router×phase visits the active-set fast path elided (optimized run).
+    pub router_cycles_skipped: u64,
+    /// The (identical) stats digest of both runs.
+    pub digest: u64,
+}
+
+fn time_run(mut net: Network, warmup: u64, measure: u64) -> (f64, u64, u64, u64) {
+    let t0 = Instant::now();
+    net.run_warmup_measure(warmup, measure);
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    (
+        (warmup + measure) as f64 / dt,
+        net.stats.digest(),
+        net.stats.idle_cycles_skipped,
+        net.stats.router_cycles_skipped,
+    )
+}
+
+/// Run the full matrix. Panics if any cell's optimized and exhaustive
+/// kernels disagree on the stats digest — the bench doubles as an equality
+/// check on real workloads.
+pub fn run(ec: &ExpConfig) -> Vec<BenchRow> {
+    let cfg = SimConfig::table1();
+    let cycles: u64 = if ec.quick { 4_000 } else { 20_000 };
+    let warmup = cycles / 5;
+    let measure = cycles - warmup;
+    let schemes: Vec<Scheme> = vec![
+        Scheme::RoRr,
+        Scheme::RoAge,
+        Scheme::ro_rank_online(2),
+        Scheme::rair(),
+    ];
+    let routings = [Routing::Xy, Routing::Local, Routing::Dbar];
+    let mut rows = Vec::new();
+
+    // Idle row: an empty network isolates the fast-forward itself.
+    {
+        let region = RegionMap::single(&cfg);
+        let build = |fast: bool| {
+            let mut net = build_network(
+                &cfg,
+                &region,
+                &Scheme::RoRr,
+                Routing::Local,
+                Box::new(NoTraffic),
+                ec.seed,
+            );
+            if !fast {
+                net.set_fast_forward(false);
+                net.set_force_exhaustive(true);
+            }
+            net
+        };
+        let (fast_tps, fast_digest, idle, skipped) = time_run(build(true), warmup, measure);
+        let (ex_tps, ex_digest, _, _) = time_run(build(false), warmup, measure);
+        assert_eq!(fast_digest, ex_digest, "idle kernel digest diverged");
+        rows.push(BenchRow {
+            scheme: "idle".into(),
+            routing: "Local",
+            load_pct: 0,
+            cycles,
+            fast_ticks_per_sec: fast_tps,
+            exhaustive_ticks_per_sec: ex_tps,
+            speedup: fast_tps / ex_tps,
+            idle_cycles_skipped: idle,
+            router_cycles_skipped: skipped,
+            digest: fast_digest,
+        });
+    }
+
+    for load_pct in [5u32, 30, 80] {
+        let rate = NOMINAL_SAT * load_pct as f64 / 100.0;
+        let (region, scenario) = two_app(&cfg, 0.3, rate, rate);
+        // One trace per load point: every scheme × routing cell (and both
+        // kernels) sees the identical offered traffic.
+        let trace = Trace::capture(scenario, cfg.num_nodes() as u16, cycles, ec.seed);
+        for scheme in &schemes {
+            for routing in routings {
+                let build = |fast: bool| {
+                    let replay = TraceReplay::new(&trace, cfg.num_nodes() as u16);
+                    let mut net =
+                        build_network(&cfg, &region, scheme, routing, Box::new(replay), ec.seed);
+                    if !fast {
+                        net.set_fast_forward(false);
+                        net.set_force_exhaustive(true);
+                    }
+                    net
+                };
+                let (fast_tps, fast_digest, idle, skipped) = time_run(build(true), warmup, measure);
+                let (ex_tps, ex_digest, _, _) = time_run(build(false), warmup, measure);
+                assert_eq!(
+                    fast_digest,
+                    ex_digest,
+                    "kernel digest diverged: {} / {} at {load_pct}%",
+                    scheme.label(),
+                    routing.label(),
+                );
+                rows.push(BenchRow {
+                    scheme: scheme.label(),
+                    routing: routing.label(),
+                    load_pct,
+                    cycles,
+                    fast_ticks_per_sec: fast_tps,
+                    exhaustive_ticks_per_sec: ex_tps,
+                    speedup: fast_tps / ex_tps,
+                    idle_cycles_skipped: idle,
+                    router_cycles_skipped: skipped,
+                    digest: fast_digest,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the matrix as a report table.
+pub fn table(rows: &[BenchRow]) -> Table {
+    let mut t = Table::new(
+        "Kernel throughput — optimized vs exhaustive (identical traffic, digest-checked)",
+        &[
+            "scheme",
+            "routing",
+            "load%",
+            "fast c/s",
+            "exh c/s",
+            "speedup",
+            "idle-skip",
+            "visit-skip",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            r.routing.to_string(),
+            r.load_pct.to_string(),
+            format!("{:.0}", r.fast_ticks_per_sec),
+            format!("{:.0}", r.exhaustive_ticks_per_sec),
+            format!("{:.2}x", r.speedup),
+            r.idle_cycles_skipped.to_string(),
+            r.router_cycles_skipped.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serialize the rows as JSON (hand-rolled — the vendored serde is a stub).
+pub fn to_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("{\n  \"nominal_sat_flits_per_cycle_node\": ");
+    out.push_str(&format!("{NOMINAL_SAT},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"routing\": \"{}\", \"load_pct\": {}, \
+             \"cycles\": {}, \"fast_ticks_per_sec\": {:.1}, \
+             \"exhaustive_ticks_per_sec\": {:.1}, \"speedup\": {:.3}, \
+             \"idle_cycles_skipped\": {}, \"router_cycles_skipped\": {}, \
+             \"digest\": \"{:016x}\"}}{}\n",
+            r.scheme,
+            r.routing,
+            r.load_pct,
+            r.cycles,
+            r.fast_ticks_per_sec,
+            r.exhaustive_ticks_per_sec,
+            r.speedup,
+            r.idle_cycles_skipped,
+            r.router_cycles_skipped,
+            r.digest,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![BenchRow {
+            scheme: "RO_RR".into(),
+            routing: "XY",
+            load_pct: 5,
+            cycles: 1000,
+            fast_ticks_per_sec: 12345.6,
+            exhaustive_ticks_per_sec: 2345.6,
+            speedup: 5.264,
+            idle_cycles_skipped: 10,
+            router_cycles_skipped: 999,
+            digest: 0xabcd,
+        }];
+        let j = to_json(&rows);
+        assert!(j.contains("\"scheme\": \"RO_RR\""));
+        assert!(j.contains("\"speedup\": 5.264"));
+        assert!(j.contains("\"digest\": \"000000000000abcd\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn table_has_row_per_bench_point() {
+        let rows = vec![
+            BenchRow {
+                scheme: "idle".into(),
+                routing: "Local",
+                load_pct: 0,
+                cycles: 100,
+                fast_ticks_per_sec: 1.0,
+                exhaustive_ticks_per_sec: 1.0,
+                speedup: 1.0,
+                idle_cycles_skipped: 0,
+                router_cycles_skipped: 0,
+                digest: 0,
+            };
+            3
+        ];
+        assert_eq!(table(&rows).num_rows(), 3);
+    }
+}

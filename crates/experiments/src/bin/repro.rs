@@ -5,8 +5,8 @@
 //! repro [--quick] [--seed N] [--csv] [--oracle] <experiment>...
 //! ```
 //! where `<experiment>` is one of `table1`, `fig9`, `fig10`, `fig12`,
-//! `fig14`, `fig15`, `fig17`, `lbdr`, `oracle`, `ablation-delta`,
-//! `ablation-vcsplit`, or `all`.
+//! `fig14`, `fig15`, `fig17`, `lbdr`, `oracle`, `bench-kernel`,
+//! `ablation-delta`, `ablation-vcsplit`, or `all`.
 //!
 //! `--oracle` force-enables the invariant oracle for every simulation of
 //! the invocation (equivalent to `RAIR_ORACLE=1`); the `oracle` experiment
@@ -19,7 +19,7 @@ use metrics::Table;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] [--oracle] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
@@ -192,6 +192,16 @@ fn main() -> ExitCode {
                 }
             }
             "trace-demo" => trace_demo(&ec, &trace_file, csv),
+            "bench-kernel" => {
+                let rows = experiments::bench_kernel::run(&ec);
+                emit(&experiments::bench_kernel::table(&rows));
+                let json = experiments::bench_kernel::to_json(&rows);
+                std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+                eprintln!(
+                    "[repro] wrote {} bench rows to BENCH_kernel.json",
+                    rows.len()
+                );
+            }
             "curve" => {
                 for pattern in [
                     traffic::pattern::Pattern::UniformRandom,

@@ -11,6 +11,7 @@
 //!                             lbdr|ablation-delta|ablation-vcsplit|all>
 //! ```
 
+pub mod bench_kernel;
 pub mod figs;
 pub mod runner;
 pub mod sweep;

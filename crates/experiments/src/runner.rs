@@ -69,6 +69,8 @@ pub struct RunResult {
     pub router_cycles_skipped: u64,
     /// End-of-cycle router state updates elided.
     pub state_updates_skipped: u64,
+    /// Whole cycles jumped over by the idle fast-forward without ticking.
+    pub idle_cycles_skipped: u64,
     /// Whether the invariant oracle was active during the run.
     pub oracle_enabled: bool,
     /// Invariant violations the oracle recorded (0 when disabled).
@@ -104,7 +106,7 @@ impl RunResult {
     }
 
     /// One-line report of how much per-cycle kernel work the active-set
-    /// fast path elided during this run.
+    /// fast path and the idle fast-forward elided during this run.
     pub fn kernel_summary(&self) -> String {
         let visits = self.cycles * self.routers as u64;
         metrics::report::kernel_summary(
@@ -112,6 +114,8 @@ impl RunResult {
             self.router_cycles_skipped,
             visits,
             self.state_updates_skipped,
+            self.cycles,
+            self.idle_cycles_skipped,
         )
     }
 }
@@ -136,6 +140,7 @@ pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> R
         routers: net.cfg.num_nodes(),
         router_cycles_skipped: net.stats.router_cycles_skipped,
         state_updates_skipped: net.stats.state_updates_skipped,
+        idle_cycles_skipped: net.stats.idle_cycles_skipped,
         oracle_enabled: net.oracle_enabled(),
         oracle_violations: net.stats.oracle_violation_count,
     }
@@ -188,11 +193,28 @@ impl std::fmt::Display for JobError {
     }
 }
 
-/// Execute jobs across all available cores (one simulation per thread —
-/// runs are independent and deterministic, so parallelism never changes
-/// results). Results are returned in job order; a panicking job becomes an
-/// `Err` while every other job still runs to completion. Progress is
-/// reported on stderr as jobs finish.
+/// Resolve the sweep worker count: a parseable `RAIR_THREADS` value wins
+/// (clamped to at least 1), otherwise every available core is used; either
+/// way no more workers than jobs are spawned. Parallelism never changes
+/// results — runs are independent and deterministic — so the override is
+/// purely about machine sharing.
+fn worker_count_from(env_threads: Option<&str>, jobs: usize) -> usize {
+    env_threads
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|t| t.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .min(jobs)
+}
+
+/// Execute jobs across worker threads (one simulation per thread; see
+/// [`worker_count_from`] for the `RAIR_THREADS` override). Results are
+/// returned in job order; a panicking job becomes an `Err` while every
+/// other job still runs to completion. Progress is reported on stderr as
+/// jobs finish.
 pub fn run_parallel_results(jobs: Vec<Job>) -> Vec<Result<RunResult, JobError>> {
     let n = jobs.len();
     if n == 0 {
@@ -205,10 +227,7 @@ pub fn run_parallel_results(jobs: Vec<Job>) -> Vec<Result<RunResult, JobError>> 
             eprintln!("[sweep] {d}/{n} done ({label})");
         }
     };
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = worker_count_from(std::env::var("RAIR_THREADS").ok().as_deref(), n);
     if workers <= 1 {
         return jobs
             .into_iter()
@@ -297,14 +316,23 @@ mod tests {
         assert_eq!(r.delivered, 1);
         assert!(r.app_apl(0) > 0.0);
         assert!(r.mean_apl(None) > 0.0);
-        // A single-packet run is almost entirely idle: the active-set fast
-        // path must have elided nearly all router visits.
+        // A single-packet run is almost entirely idle: between the idle
+        // fast-forward (whole cycles jumped, 3 phase visits per router each)
+        // and the active-set fast path (visits elided inside real ticks),
+        // nearly all router work must have been skipped.
         assert_eq!(r.cycles, 5_000);
         assert_eq!(r.routers, 64);
+        let elided = r.router_cycles_skipped + 3 * r.routers as u64 * r.idle_cycles_skipped;
         assert!(
-            r.router_cycles_skipped > r.cycles * r.routers as u64 * 3 / 2,
-            "fast path barely skipped: {}",
-            r.router_cycles_skipped
+            elided > r.cycles * r.routers as u64 * 3 / 2,
+            "fast paths barely skipped: {elided}"
+        );
+        // The source injects exactly one packet at cycle 2100; everything
+        // before and most of the drain after it fast-forwards.
+        assert!(
+            r.idle_cycles_skipped > 4_000,
+            "idle fast-forward skipped only {} cycles",
+            r.idle_cycles_skipped
         );
         assert!(r.state_updates_skipped > 0);
         assert!(r.kernel_summary().starts_with("kernel:"));
@@ -322,6 +350,7 @@ mod tests {
             routers: 64,
             router_cycles_skipped: 0,
             state_updates_skipped: 0,
+            idle_cycles_skipped: 0,
             oracle_enabled: false,
             oracle_violations: 0,
         };
@@ -401,5 +430,18 @@ mod tests {
     #[test]
     fn empty_jobs_ok() {
         assert!(run_parallel(vec![]).is_empty());
+    }
+
+    #[test]
+    fn worker_count_honors_rair_threads() {
+        // Explicit override wins, clamped to >= 1 and <= jobs.
+        assert_eq!(worker_count_from(Some("3"), 10), 3);
+        assert_eq!(worker_count_from(Some(" 2 "), 10), 2);
+        assert_eq!(worker_count_from(Some("0"), 10), 1);
+        assert_eq!(worker_count_from(Some("64"), 5), 5);
+        // Garbage falls back to available parallelism (bounded by jobs).
+        let fallback = worker_count_from(Some("not-a-number"), 1000);
+        assert!(fallback >= 1);
+        assert_eq!(worker_count_from(None, 1), 1);
     }
 }

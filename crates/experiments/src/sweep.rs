@@ -1,13 +1,19 @@
 //! Shared experiment plumbing: network construction from (scheme, routing)
-//! and a process-wide saturation-load cache.
+//! and a two-level (memory + disk) saturation-load cache.
 //!
 //! The paper expresses all synthetic loads as a percentage of each
 //! application's saturation load. Saturation measurement is itself a
-//! binary-search of simulations, so results are cached — keyed by the
-//! actual measurement parameters `(probe mode, cfg, region, app, spec)`,
-//! never by the caller-supplied label, so two call sites can never share a
-//! stale load by reusing a label string. The label is kept for diagnostics
-//! only.
+//! binary-search of simulations, so results are cached — keyed by a
+//! [`metrics::Digest`] folded over the actual measurement parameters
+//! `(probe, cfg, region assignment, app, spec)`, never by the
+//! caller-supplied label, so two call sites can never share a stale load by
+//! reusing a label string. The label is kept for diagnostics only.
+//!
+//! The disk layer persists each measured load under `results/cache/` (one
+//! tiny file per key; override the directory with `RAIR_CACHE_DIR`), so a
+//! second `repro` invocation performs **zero** binary searches for loads it
+//! has already measured. The in-memory layer is bounded (FIFO eviction) so
+//! an unbounded sweep cannot grow the process without limit.
 
 use crate::runner::ExpConfig;
 use noc_sim::config::SimConfig;
@@ -15,7 +21,9 @@ use noc_sim::network::Network;
 use noc_sim::region::RegionMap;
 use noc_sim::source::TrafficSource;
 use rair::scheme::{Routing, Scheme};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use traffic::saturation::{app_saturation, SaturationProbe};
 use traffic::scenario::AppSpec;
@@ -39,25 +47,170 @@ pub fn build_network(
     )
 }
 
-fn sat_cache() -> &'static Mutex<HashMap<String, f64>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, f64>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// In-memory cache capacity; evicted entries survive on disk.
+const MEM_CACHE_CAP: usize = 256;
+
+/// Bounded FIFO map: the in-memory layer of the saturation cache.
+struct MemCache {
+    map: HashMap<u64, f64>,
+    order: VecDeque<u64>,
 }
 
-/// Canonical cache key derived from every parameter the measured saturation
-/// load depends on. `Debug` formatting of `f64` is round-trip exact in
-/// Rust, so distinct specs always produce distinct keys.
-fn sat_key(quick: bool, cfg: &SimConfig, region: &RegionMap, app: u8, spec: &AppSpec) -> String {
-    let assign: Vec<u8> = (0..cfg.num_nodes() as u16)
-        .map(|n| region.app_of(n))
-        .collect();
-    format!("quick={quick}|cfg={cfg:?}|region={assign:?}|app={app}|spec={spec:?}")
+impl MemCache {
+    fn insert(&mut self, key: u64, value: f64) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > MEM_CACHE_CAP {
+                let evict = self.order.pop_front().unwrap();
+                self.map.remove(&evict);
+            }
+        }
+    }
 }
 
-/// Saturation load (flits/cycle/node) of application `app` running alone
-/// with traffic mix `spec` on `region`, measured under round-robin
-/// arbitration with local adaptive routing. `label` is used only in
-/// diagnostics; the cache key is derived from the parameters themselves.
+fn sat_cache() -> &'static Mutex<MemCache> {
+    static CACHE: OnceLock<Mutex<MemCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(MemCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        })
+    })
+}
+
+/// Where a saturation value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatLookup {
+    /// Served from the process-wide in-memory cache.
+    MemHit,
+    /// Loaded from the persistent disk cache.
+    DiskHit,
+    /// Measured by a fresh binary search.
+    Searched,
+}
+
+/// Cumulative lookup counters, in `(mem_hits, disk_hits, searches)` order.
+static MEM_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static SEARCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide saturation-cache counters: `(mem_hits, disk_hits,
+/// searches)` since startup.
+pub fn saturation_cache_stats() -> (u64, u64, u64) {
+    (
+        MEM_HITS.load(Ordering::Relaxed),
+        DISK_HITS.load(Ordering::Relaxed),
+        SEARCHES.load(Ordering::Relaxed),
+    )
+}
+
+/// Canonical cache key: a collision-resistant digest folded over every
+/// parameter the measured saturation load depends on. Unlike the earlier
+/// `Debug`-string key, each component is written through the pinned
+/// [`metrics::Digest`] with explicit discriminants and length prefixes, so
+/// the key is stable across Rust versions and derive-order changes.
+fn sat_digest(
+    probe: &SaturationProbe,
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: u8,
+    spec: &AppSpec,
+) -> u64 {
+    let mut d = metrics::Digest::new();
+    // Domain tag ("RAIRSAT" + version) so these keys can never collide
+    // with another digest family reusing the same hash.
+    d.write_u64(0x5241_4952_5341_5401);
+    probe.digest_into(&mut d);
+    cfg.digest_into(&mut d);
+    d.write_u64(cfg.num_nodes() as u64);
+    for n in 0..cfg.num_nodes() as u16 {
+        d.write_u64(region.app_of(n) as u64);
+    }
+    d.write_u64(app as u64);
+    spec.digest_into(&mut d);
+    d.finish()
+}
+
+/// Directory of the persistent cache: `RAIR_CACHE_DIR` if set, else
+/// `results/cache` relative to the working directory.
+fn cache_dir() -> PathBuf {
+    std::env::var_os("RAIR_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results").join("cache"))
+}
+
+fn cache_path(key: u64) -> PathBuf {
+    cache_dir().join(format!("sat_{key:016x}.txt"))
+}
+
+/// Read a cached value from disk. The first line is the exact f64 bit
+/// pattern in hex (round-trip lossless); anything after it is ignored.
+fn disk_read(key: u64) -> Option<f64> {
+    let text = std::fs::read_to_string(cache_path(key)).ok()?;
+    let bits = u64::from_str_radix(text.lines().next()?.trim(), 16).ok()?;
+    let v = f64::from_bits(bits);
+    v.is_finite().then_some(v)
+}
+
+/// Persist a value: bit-pattern line first, a human-readable comment line
+/// second. Written via temp-file + rename so concurrent sweeps (or an
+/// interrupted run) can never leave a torn entry; failures are silently
+/// ignored — the cache is an optimization, not a dependency.
+fn disk_write(key: u64, value: f64, label: &str) {
+    let dir = cache_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let tmp = dir.join(format!("sat_{key:016x}.tmp.{}", std::process::id()));
+    let body = format!(
+        "{:016x}\n# {} = {:.6} flits/cycle/node\n",
+        value.to_bits(),
+        label,
+        value
+    );
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, cache_path(key));
+    }
+}
+
+/// Saturation load of application `app` running alone with traffic mix
+/// `spec` on `region` (round-robin arbitration, local adaptive routing),
+/// plus where the value came from. `label` is used only in diagnostics and
+/// the on-disk comment line; the cache key is derived from the parameters
+/// themselves.
+pub fn cached_saturation_traced(
+    label: &str,
+    ec: &ExpConfig,
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: u8,
+    spec: &AppSpec,
+) -> (f64, SatLookup) {
+    let probe = if ec.quick {
+        SaturationProbe::quick()
+    } else {
+        SaturationProbe::default()
+    };
+    let key = sat_digest(&probe, cfg, region, app, spec);
+    if let Some(&v) = sat_cache().lock().unwrap().map.get(&key) {
+        MEM_HITS.fetch_add(1, Ordering::Relaxed);
+        return (v, SatLookup::MemHit);
+    }
+    if let Some(v) = disk_read(key) {
+        DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        sat_cache().lock().unwrap().insert(key, v);
+        return (v, SatLookup::DiskHit);
+    }
+    SEARCHES.fetch_add(1, Ordering::Relaxed);
+    let sat = app_saturation(&probe, cfg, region, app, spec, || Routing::Local.build());
+    assert!(sat > 0.0, "saturation search collapsed to zero for {label}");
+    sat_cache().lock().unwrap().insert(key, sat);
+    disk_write(key, sat, label);
+    (sat, SatLookup::Searched)
+}
+
+/// [`cached_saturation_traced`] without the provenance (the common case for
+/// figure drivers).
 pub fn cached_saturation(
     label: &str,
     ec: &ExpConfig,
@@ -66,24 +219,16 @@ pub fn cached_saturation(
     app: u8,
     spec: &AppSpec,
 ) -> f64 {
-    let key = sat_key(ec.quick, cfg, region, app, spec);
-    if let Some(&v) = sat_cache().lock().unwrap().get(&key) {
-        return v;
-    }
-    let probe = if ec.quick {
-        SaturationProbe::quick()
-    } else {
-        SaturationProbe::default()
-    };
-    let sat = app_saturation(&probe, cfg, region, app, spec, || Routing::Local.build());
-    assert!(sat > 0.0, "saturation search collapsed to zero for {label}");
-    sat_cache().lock().unwrap().insert(key, sat);
-    sat
+    cached_saturation_traced(label, ec, cfg, region, app, spec).0
 }
 
-/// Clear the saturation cache (tests).
+/// Clear the in-memory saturation cache (tests). Disk entries persist; use
+/// `RAIR_CACHE_DIR` pointed at a temp directory to isolate tests from the
+/// repository-level cache.
 pub fn clear_saturation_cache() {
-    sat_cache().lock().unwrap().clear();
+    let mut c = sat_cache().lock().unwrap();
+    c.map.clear();
+    c.order.clear();
 }
 
 #[cfg(test)]
@@ -91,6 +236,36 @@ mod tests {
     use super::*;
     use noc_sim::source::NoTraffic;
     use traffic::scenario::InterDest;
+
+    /// Serializes tests that touch the process-wide cache layers or the
+    /// `RAIR_CACHE_DIR` environment variable.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Point the disk cache at a unique temp directory for one test.
+    struct TempCacheDir {
+        dir: PathBuf,
+    }
+
+    impl TempCacheDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("rair-satcache-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::env::set_var("RAIR_CACHE_DIR", &dir);
+            Self { dir }
+        }
+    }
+
+    impl Drop for TempCacheDir {
+        fn drop(&mut self) {
+            std::env::remove_var("RAIR_CACHE_DIR");
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
 
     #[test]
     fn build_network_wires_scheme_and_routing() {
@@ -109,18 +284,71 @@ mod tests {
     }
 
     #[test]
-    fn saturation_cache_hits_regardless_of_label() {
+    fn saturation_cache_layers_and_zero_searches_on_rerun() {
+        let _guard = env_lock();
+        let _tmp = TempCacheDir::new("layers");
         clear_saturation_cache();
         let cfg = SimConfig::table1();
         let region = RegionMap::halves(&cfg);
         let ec = ExpConfig::quick();
         let spec = AppSpec::intra_only(0.0);
-        let a = cached_saturation("test/halves0", &ec, &cfg, &region, 0, &spec);
-        // Same parameters under a different label must hit the cache (and
-        // therefore return the identical value instantly).
-        let b = cached_saturation("other/label", &ec, &cfg, &region, 0, &spec);
-        assert_eq!(a, b);
+        // Cold start: one real binary search, persisted to disk.
+        let (a, la) = cached_saturation_traced("test/halves0", &ec, &cfg, &region, 0, &spec);
+        assert_eq!(la, SatLookup::Searched);
         assert!(a > 0.05 && a < 1.0, "saturation {a}");
+        // Same parameters under a different label: in-memory hit, identical
+        // value.
+        let (b, lb) = cached_saturation_traced("other/label", &ec, &cfg, &region, 0, &spec);
+        assert_eq!(lb, SatLookup::MemHit);
+        assert_eq!(a, b);
+        // Fresh process simulated by clearing the memory layer: the disk
+        // entry answers — a second `repro` run performs zero searches.
+        clear_saturation_cache();
+        let (c, lc) = cached_saturation_traced("rerun", &ec, &cfg, &region, 0, &spec);
+        assert_eq!(lc, SatLookup::DiskHit);
+        assert_eq!(a.to_bits(), c.to_bits(), "disk roundtrip not bit-exact");
+        // And it was promoted back into memory.
+        let (_, ld) = cached_saturation_traced("rerun2", &ec, &cfg, &region, 0, &spec);
+        assert_eq!(ld, SatLookup::MemHit);
+    }
+
+    #[test]
+    fn disk_entries_are_atomic_and_readable() {
+        let _guard = env_lock();
+        let _tmp = TempCacheDir::new("atomic");
+        disk_write(0xDEAD_BEEF, 0.314159, "demo/label");
+        let v = disk_read(0xDEAD_BEEF).unwrap();
+        assert_eq!(v.to_bits(), 0.314159f64.to_bits());
+        // No stray temp files remain after a completed write.
+        let leftovers: Vec<_> = std::fs::read_dir(cache_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "torn temp files: {leftovers:?}");
+        // Corrupt entries are treated as misses, not errors.
+        std::fs::write(cache_path(0xBAD), "not-hex\n").unwrap();
+        assert_eq!(disk_read(0xBAD), None);
+    }
+
+    #[test]
+    fn memory_layer_is_bounded() {
+        let mut cache = MemCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        };
+        for k in 0..(MEM_CACHE_CAP as u64 + 50) {
+            cache.insert(k, k as f64);
+        }
+        assert_eq!(cache.map.len(), MEM_CACHE_CAP);
+        assert_eq!(cache.order.len(), MEM_CACHE_CAP);
+        // FIFO: the oldest keys were evicted, the newest survive.
+        assert!(!cache.map.contains_key(&0));
+        assert!(cache.map.contains_key(&(MEM_CACHE_CAP as u64 + 49)));
+        // Re-inserting an existing key must not duplicate its order slot.
+        let before = cache.order.len();
+        cache.insert(MEM_CACHE_CAP as u64 + 49, 1.0);
+        assert_eq!(cache.order.len(), before);
     }
 
     #[test]
@@ -128,26 +356,28 @@ mod tests {
         let cfg = SimConfig::table1();
         let region = RegionMap::halves(&cfg);
         let base = AppSpec::intra_only(0.0);
-        let k = |quick, cfg: &SimConfig, region: &RegionMap, app, spec: &AppSpec| {
-            sat_key(quick, cfg, region, app, spec)
-        };
-        let reference = k(true, &cfg, &region, 0, &base);
+        let quick = SaturationProbe::quick();
+        let full = SaturationProbe::default();
+        let reference = sat_digest(&quick, &cfg, &region, 0, &base);
         // Key is a pure function of the parameters…
-        assert_eq!(reference, k(true, &cfg, &region, 0, &base));
+        assert_eq!(reference, sat_digest(&quick, &cfg, &region, 0, &base));
         // …and every parameter perturbation changes it.
-        assert_ne!(reference, k(false, &cfg, &region, 0, &base));
-        assert_ne!(reference, k(true, &cfg, &region, 1, &base));
+        assert_ne!(reference, sat_digest(&full, &cfg, &region, 0, &base));
+        assert_ne!(reference, sat_digest(&quick, &cfg, &region, 1, &base));
         let mut other_cfg = cfg.clone();
         other_cfg.vc_depth += 1;
-        assert_ne!(reference, k(true, &other_cfg, &region, 0, &base));
+        assert_ne!(reference, sat_digest(&quick, &other_cfg, &region, 0, &base));
         let quadrants = RegionMap::quadrants(&cfg);
-        assert_ne!(reference, k(true, &cfg, &quadrants, 0, &base));
+        assert_ne!(reference, sat_digest(&quick, &cfg, &quadrants, 0, &base));
         let mut spec = base.clone();
         spec.mc += 0.05;
         spec.intra -= 0.05;
-        assert_ne!(reference, k(true, &cfg, &region, 0, &spec));
+        assert_ne!(reference, sat_digest(&quick, &cfg, &region, 0, &spec));
         let mut dest = base.clone();
         dest.inter_dest = InterDest::Region(1);
-        assert_ne!(reference, k(true, &cfg, &region, 0, &dest));
+        assert_ne!(reference, sat_digest(&quick, &cfg, &region, 0, &dest));
+        let mut seeded = quick;
+        seeded.seed ^= 1;
+        assert_ne!(reference, sat_digest(&seeded, &cfg, &region, 0, &base));
     }
 }

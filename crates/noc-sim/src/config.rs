@@ -1,6 +1,6 @@
 //! Simulator configuration, including the paper's Table 1 parameters.
 
-use crate::ids::{Coord, MsgClass, NodeId};
+use crate::ids::{Coord, MsgClass, NodeId, NUM_PORTS};
 use crate::oracle::OracleConfig;
 use crate::vc::{VcClass, VcTag};
 use serde::{Deserialize, Serialize};
@@ -170,8 +170,30 @@ impl SimConfig {
         if self.num_nodes() > NodeId::MAX as usize {
             return Err("too many nodes for NodeId".into());
         }
+        if NUM_PORTS * self.vcs_per_port() > 64 {
+            return Err(
+                "NUM_PORTS * vcs_per_port() must fit in a u64 bitset (<= 64 VC slots per router)"
+                    .into(),
+            );
+        }
         self.oracle.validate()?;
         Ok(())
+    }
+
+    /// Fold every simulation-relevant parameter into `d`. Used to build
+    /// collision-proof cache keys; deliberately excludes `block_bytes`
+    /// (documentation only) and `oracle` (observability, not behaviour).
+    pub fn digest_into(&self, d: &mut metrics::Digest) {
+        d.write_u64(self.width as u64);
+        d.write_u64(self.height as u64);
+        d.write_u64(self.num_classes as u64);
+        d.write_u64(self.adaptive_vcs as u64);
+        d.write_u64(self.regional_vcs as u64);
+        d.write_u64(self.vc_depth as u64);
+        d.write_u64(self.short_flits as u64);
+        d.write_u64(self.long_flits as u64);
+        d.write_u64(self.l2_latency);
+        d.write_u64(self.mem_latency);
     }
 }
 

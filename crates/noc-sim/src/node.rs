@@ -145,6 +145,12 @@ impl Node {
         self.replies.len()
     }
 
+    /// Cycle the earliest pending reply becomes ready (`None` when no reply
+    /// is outstanding) — the NI's contribution to the fast-forward target.
+    pub fn next_reply_ready(&self) -> Option<u64> {
+        self.replies.peek().map(|Reverse(r)| r.ready)
+    }
+
     /// Flits queued at the NI that already left the source queues (belong to
     /// the packet mid-injection).
     pub fn inflight_inject_flits(&self) -> usize {
@@ -210,7 +216,7 @@ impl Node {
                 if ev.head {
                     debug_assert!(!router.inputs[PORT_LOCAL][p.vc].occupied());
                     router.inputs[PORT_LOCAL][p.vc].holder = Some(flit.info.app);
-                    router.note_vc_occupied(PORT_LOCAL);
+                    router.note_vc_occupied(PORT_LOCAL, p.vc);
                 }
                 router.inputs[PORT_LOCAL][p.vc].buf.push_back(flit);
                 if p.flits.is_empty() {

@@ -208,6 +208,9 @@ pub struct Oracle {
     panic_on_violation: bool,
     check_interval: u64,
     max_recorded: usize,
+    /// End-of-cycle scans actually performed (the interval gate passed).
+    /// Fast-forwarded runs must match plain ticking scan-for-scan.
+    scans: u64,
 }
 
 impl Oracle {
@@ -234,6 +237,7 @@ impl Oracle {
             panic_on_violation: cfg.oracle.resolve_panic(),
             check_interval: cfg.oracle.check_interval,
             max_recorded: cfg.oracle.max_recorded,
+            scans: 0,
         }
     }
 
@@ -285,6 +289,7 @@ impl Oracle {
         if !force && !net.cycle().is_multiple_of(self.check_interval) {
             return;
         }
+        self.scans += 1;
         let Self {
             checkers, pending, ..
         } = self;
@@ -303,6 +308,14 @@ impl Oracle {
 
     pub(crate) fn max_recorded(&self) -> usize {
         self.max_recorded
+    }
+
+    pub(crate) fn check_interval(&self) -> u64 {
+        self.check_interval
+    }
+
+    pub(crate) fn scans(&self) -> u64 {
+        self.scans
     }
 }
 

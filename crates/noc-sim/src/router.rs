@@ -64,12 +64,37 @@ pub struct Router {
     /// update; while clear, the DPA registers and the congestion export
     /// cannot change, so the update may be skipped.
     pub occ_dirty: bool,
+
+    // --- Bitset hot-path state. One bit per VC slot, flattened
+    // `port * vcs + vc` (config validation guarantees this fits in a u64).
+    // Maintained at the same transition points as the summaries above, so
+    // the oracle hooks double as coherence checkpoints.
+    /// VCs per port (cached from config; the bit-flattening stride).
+    pub(crate) vcs: usize,
+    /// Downstream buffer depth (cached from config; full-credit threshold).
+    pub(crate) vc_depth: usize,
+    /// Bit set ⇔ the input VC is occupied. SA/VA/RC candidate enumeration
+    /// iterates these bits instead of scanning `inputs`.
+    pub occ_bits: u64,
+    /// Bit set ⇔ the output VC has no holder (`out_alloc[..] == None`).
+    pub out_free: u64,
+    /// Bit set ⇔ all credits returned (`credits == vc_depth`) — the atomic
+    /// reallocation gate. Local-port bits are always set (infinite credit).
+    pub credits_full: u64,
+    /// Bit set ⇔ at least one credit available (`credits > 0`). Local-port
+    /// bits are always set.
+    pub credits_avail: u64,
 }
 
 impl Router {
     /// Create an idle router with full credits.
     pub fn new(cfg: &SimConfig, id: NodeId, coord: Coord, app: AppId) -> Self {
         let v = cfg.vcs_per_port();
+        let valid = if NUM_PORTS * v >= 64 {
+            !0u64
+        } else {
+            (1u64 << (NUM_PORTS * v)) - 1
+        };
         Self {
             id,
             coord,
@@ -89,24 +114,132 @@ impl Router {
             occ_vcs: 0,
             // Start dirty so the first state update always runs.
             occ_dirty: true,
+            vcs: v,
+            vc_depth: cfg.vc_depth,
+            occ_bits: 0,
+            out_free: valid,
+            credits_full: valid,
+            credits_avail: valid,
         }
     }
 
-    /// Record that input VC on `port` transitioned unoccupied → occupied.
+    /// The bit representing VC slot `(port, vc)` in the flattened bitsets.
     #[inline]
-    pub fn note_vc_occupied(&mut self, port: Port) {
+    pub fn vc_bit(&self, port: Port, vc: usize) -> u64 {
+        debug_assert!(vc < self.vcs);
+        1u64 << (port * self.vcs + vc)
+    }
+
+    /// Mask of all valid VC slots (low `NUM_PORTS * vcs` bits).
+    #[inline]
+    pub fn valid_vc_mask(&self) -> u64 {
+        if NUM_PORTS * self.vcs >= 64 {
+            !0u64
+        } else {
+            (1u64 << (NUM_PORTS * self.vcs)) - 1
+        }
+    }
+
+    /// Record that input VC `(port, vc)` transitioned unoccupied → occupied.
+    #[inline]
+    pub fn note_vc_occupied(&mut self, port: Port, vc: usize) {
+        debug_assert_eq!(self.occ_bits & self.vc_bit(port, vc), 0);
         self.occ_port[port] += 1;
         self.occ_vcs += 1;
+        self.occ_bits |= self.vc_bit(port, vc);
         self.occ_dirty = true;
     }
 
-    /// Record that input VC on `port` transitioned occupied → unoccupied.
+    /// Record that input VC `(port, vc)` transitioned occupied → unoccupied.
     #[inline]
-    pub fn note_vc_freed(&mut self, port: Port) {
+    pub fn note_vc_freed(&mut self, port: Port, vc: usize) {
         debug_assert!(self.occ_port[port] > 0 && self.occ_vcs > 0);
+        debug_assert_ne!(self.occ_bits & self.vc_bit(port, vc), 0);
         self.occ_port[port] -= 1;
         self.occ_vcs -= 1;
+        self.occ_bits &= !self.vc_bit(port, vc);
         self.occ_dirty = true;
+    }
+
+    /// Consume one credit toward downstream `(port, vc)`, keeping the
+    /// credit bitmaps coherent. The local port never consumes credits.
+    #[inline]
+    pub fn take_credit(&mut self, port: Port, vc: usize) {
+        let bit = self.vc_bit(port, vc);
+        let c = &mut self.credits[port][vc];
+        debug_assert!(*c > 0);
+        *c -= 1;
+        let empty = *c == 0;
+        self.credits_full &= !bit;
+        if empty {
+            self.credits_avail &= !bit;
+        }
+    }
+
+    /// Return one credit from downstream `(port, vc)`.
+    #[inline]
+    pub fn return_credit(&mut self, port: Port, vc: usize) {
+        let bit = self.vc_bit(port, vc);
+        let c = &mut self.credits[port][vc];
+        *c += 1;
+        debug_assert!(*c <= self.vc_depth);
+        let full = *c == self.vc_depth;
+        self.credits_avail |= bit;
+        if full {
+            self.credits_full |= bit;
+        }
+    }
+
+    /// Grant output VC `(port, vc)` to `holder = (in_port, in_vc)`.
+    #[inline]
+    pub fn alloc_out_vc(&mut self, port: Port, vc: usize, holder: (Port, usize)) {
+        debug_assert!(self.out_alloc[port][vc].is_none());
+        self.out_alloc[port][vc] = Some(holder);
+        self.out_free &= !self.vc_bit(port, vc);
+    }
+
+    /// Release output VC `(port, vc)` (tail departed through the crossbar).
+    #[inline]
+    pub fn release_out_vc(&mut self, port: Port, vc: usize) {
+        debug_assert!(self.out_alloc[port][vc].is_some());
+        self.out_alloc[port][vc] = None;
+        self.out_free |= self.vc_bit(port, vc);
+    }
+
+    /// Mask of output VCs a new packet may be allocated: no holder AND the
+    /// downstream buffer fully drained (atomic VCs). Local-port bits are
+    /// exact because local credits are never consumed.
+    #[inline]
+    pub fn allocatable_mask(&self) -> u64 {
+        self.out_free & self.credits_full
+    }
+
+    /// Recompute all four bitsets by exhaustive scan (the slow definition
+    /// the incremental bitmaps must always agree with). Returns
+    /// `(occ_bits, out_free, credits_full, credits_avail)`.
+    pub fn recount_bitsets(&self) -> (u64, u64, u64, u64) {
+        let mut occ = 0u64;
+        let mut free = 0u64;
+        let mut full = 0u64;
+        let mut avail = 0u64;
+        for port in 0..NUM_PORTS {
+            for vc in 0..self.vcs {
+                let bit = 1u64 << (port * self.vcs + vc);
+                if self.inputs[port][vc].occupied() {
+                    occ |= bit;
+                }
+                if self.out_alloc[port][vc].is_none() {
+                    free |= bit;
+                }
+                if self.credits[port][vc] == self.vc_depth {
+                    full |= bit;
+                }
+                if self.credits[port][vc] > 0 {
+                    avail |= bit;
+                }
+            }
+        }
+        (occ, free, full, avail)
     }
 
     /// Recompute the occupancy summary by exhaustive scan (the slow way the
@@ -257,7 +390,7 @@ mod tests {
             },
         });
         r.inputs[port][vc].holder = Some(app);
-        r.note_vc_occupied(port);
+        r.note_vc_occupied(port, vc);
     }
 
     #[test]
@@ -335,9 +468,57 @@ mod tests {
         // Free one back down and re-check agreement with the slow scan.
         r.inputs[1][0].buf.clear();
         r.inputs[1][0].holder = None;
-        r.note_vc_freed(1);
+        r.note_vc_freed(1, 0);
         assert_eq!(r.occ_vcs, 2);
         assert_eq!(r.recount_occupancy_summary(), (r.occ_port, r.occ_vcs));
+    }
+
+    #[test]
+    fn bitsets_track_transitions() {
+        let mut r = mk();
+        let c = cfg();
+        assert_eq!(
+            r.recount_bitsets(),
+            (r.occ_bits, r.out_free, r.credits_full, r.credits_avail)
+        );
+        assert_eq!(r.occ_bits, 0);
+        assert_eq!(r.out_free, r.valid_vc_mask());
+
+        put_flit(&mut r, 1, 2, 0);
+        put_flit(&mut r, 3, 0, 1);
+        assert_eq!(r.occ_bits, r.vc_bit(1, 2) | r.vc_bit(3, 0));
+
+        // Allocate an output VC and drain the downstream buffer by one.
+        r.alloc_out_vc(2, 3, (1, 2));
+        r.take_credit(2, 3);
+        assert!(!r.out_vc_allocatable(&c, 2, 3));
+        assert_eq!(r.allocatable_mask() & r.vc_bit(2, 3), 0);
+        assert_ne!(r.credits_avail & r.vc_bit(2, 3), 0);
+        assert_eq!(
+            r.recount_bitsets(),
+            (r.occ_bits, r.out_free, r.credits_full, r.credits_avail)
+        );
+
+        // Drain to zero credits: availability bit clears too.
+        for _ in 1..c.vc_depth {
+            r.take_credit(2, 3);
+        }
+        assert_eq!(r.credits_avail & r.vc_bit(2, 3), 0);
+        assert!(!r.has_credit(2, 3));
+
+        // Return everything and release: slot becomes allocatable again.
+        for _ in 0..c.vc_depth {
+            r.return_credit(2, 3);
+        }
+        r.release_out_vc(2, 3);
+        assert_ne!(r.allocatable_mask() & r.vc_bit(2, 3), 0);
+        r.inputs[1][2].buf.clear();
+        r.inputs[1][2].holder = None;
+        r.note_vc_freed(1, 2);
+        assert_eq!(
+            r.recount_bitsets(),
+            (r.occ_bits, r.out_free, r.credits_full, r.credits_avail)
+        );
     }
 
     #[test]

@@ -31,6 +31,21 @@ pub trait TrafficSource: Send {
     /// Must never return `dst == node`.
     fn generate(&mut self, node: NodeId, cycle: u64, rng: &mut SmallRng) -> Option<NewPacket>;
 
+    /// The earliest cycle `>= now` at which [`generate`](Self::generate)
+    /// might return a packet for *any* node — the contract backing the
+    /// network's idle fast-forward.
+    ///
+    /// Returning `Some(c)` is a promise that for every cycle in `[now, c)`
+    /// and every node, `generate` would return `None` **with zero side
+    /// effects** — in particular, without drawing from the node's RNG (an
+    /// elided call must leave the RNG stream untouched). `Some(u64::MAX)`
+    /// means the source will never inject again. The default `None` means
+    /// "unknown — call me every cycle"; any source that consults the RNG
+    /// each cycle (Bernoulli processes, ON/OFF chains) must keep it.
+    fn next_injection_cycle(&self, _now: u64) -> Option<u64> {
+        None
+    }
+
     /// A packet was delivered (tail ejected) at `node`. Closed-loop sources
     /// use this to retire outstanding requests.
     fn on_delivered(&mut self, _node: NodeId, _info: &PacketInfo, _cycle: u64) {}
@@ -47,6 +62,10 @@ impl TrafficSource for NoTraffic {
 
     fn generate(&mut self, _: NodeId, _: u64, _: &mut SmallRng) -> Option<NewPacket> {
         None
+    }
+
+    fn next_injection_cycle(&self, _now: u64) -> Option<u64> {
+        Some(u64::MAX)
     }
 }
 
@@ -82,6 +101,16 @@ impl TrafficSource for ScriptedSource {
             .iter()
             .position(|&(c, n, _)| c <= cycle && n == node)?;
         Some(self.events.remove(idx).2)
+    }
+
+    fn next_injection_cycle(&self, now: u64) -> Option<u64> {
+        // Events are sorted by cycle and consumed without RNG; a past-due
+        // event (possible when its node's VCs were all busy) clamps to now.
+        Some(
+            self.events
+                .first()
+                .map_or(u64::MAX, |&(c, _, _)| c.max(now)),
+        )
     }
 }
 

@@ -32,6 +32,10 @@ pub struct SimStats {
     /// Per-router end-of-cycle state updates elided because the router's
     /// occupancy was unchanged (cumulative).
     pub state_updates_skipped: u64,
+    /// Whole cycles elided by the idle fast-forward (cumulative; the clock
+    /// jumped over them without ticking). Zero when fast-forward is off or
+    /// never engages.
+    pub idle_cycles_skipped: u64,
     /// Invariant violations recorded by the oracle, capped at
     /// `SimConfig::oracle.max_recorded` ([`Self::oracle_violation_count`]
     /// keeps the uncapped total). Empty when the oracle is disabled.
@@ -52,6 +56,7 @@ impl SimStats {
             last_progress: 0,
             router_cycles_skipped: 0,
             state_updates_skipped: 0,
+            idle_cycles_skipped: 0,
             oracle_violations: Vec::new(),
             oracle_violation_count: 0,
         }
@@ -110,12 +115,14 @@ mod tests {
         s.injected_flits = 50;
         s.router_cycles_skipped = 7;
         s.state_updates_skipped = 3;
+        s.idle_cycles_skipped = 11;
         s.recorder.record(0, 10, 12, 3, 1);
         s.reset_window(1000);
         assert_eq!(s.generated[0], 10);
         assert_eq!(s.injected_flits, 50);
         assert_eq!(s.router_cycles_skipped, 7);
         assert_eq!(s.state_updates_skipped, 3);
+        assert_eq!(s.idle_cycles_skipped, 11);
         assert_eq!(s.recorder.delivered(), 0);
         assert_eq!(s.measure_start, 1000);
     }
@@ -154,6 +161,7 @@ mod tests {
         let mut other = make();
         other.router_cycles_skipped = 123;
         other.state_updates_skipped = 45;
+        other.idle_cycles_skipped = 678;
         assert_eq!(make().digest(), other.digest());
     }
 }

@@ -94,6 +94,35 @@ impl Pattern {
         }
     }
 
+    /// Fold the pattern (variant discriminant plus full payload) into `d` —
+    /// collision-proof cache keys, unlike a `Debug` rendering.
+    pub fn digest_into(&self, d: &mut metrics::Digest) {
+        let write_set = |d: &mut metrics::Digest, set: &[NodeId]| {
+            d.write_u64(set.len() as u64);
+            for &n in set {
+                d.write_u64(n as u64);
+            }
+        };
+        match self {
+            Pattern::UniformRandom => d.write_u64(0),
+            Pattern::UniformWithin(set) => {
+                d.write_u64(1);
+                write_set(d, set);
+            }
+            Pattern::UniformOutside(set) => {
+                d.write_u64(2);
+                write_set(d, set);
+            }
+            Pattern::Transpose => d.write_u64(3),
+            Pattern::BitComplement => d.write_u64(4),
+            Pattern::Hotspot { spots, bias } => {
+                d.write_u64(5);
+                write_set(d, spots);
+                d.write_f64(*bias);
+            }
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {

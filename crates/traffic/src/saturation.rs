@@ -61,6 +61,17 @@ impl SaturationProbe {
             ..Self::default()
         }
     }
+
+    /// Fold every parameter that affects the measured saturation value into
+    /// `d` — part of the collision-proof persistent-cache key.
+    pub fn digest_into(&self, d: &mut metrics::Digest) {
+        d.write_u64(self.warmup);
+        d.write_u64(self.measure);
+        d.write_f64(self.backlog_fraction);
+        d.write_f64(self.latency_blowup);
+        d.write_u64(self.iters as u64);
+        d.write_u64(self.seed);
+    }
 }
 
 /// Generic saturation search: `build(rate)` constructs a fresh network

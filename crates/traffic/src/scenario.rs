@@ -84,6 +84,33 @@ impl AppSpec {
             "traffic mix fractions must sum to 1 (got {total})"
         );
     }
+
+    /// Fold every load-determining parameter into `d` (collision-proof
+    /// saturation-cache keys).
+    pub fn digest_into(&self, d: &mut metrics::Digest) {
+        d.write_f64(self.rate_flits);
+        d.write_f64(self.intra);
+        d.write_f64(self.inter);
+        self.inter_dest.digest_into(d);
+        d.write_f64(self.mc);
+    }
+}
+
+impl InterDest {
+    /// Variant discriminant plus payload, order-sensitive.
+    pub fn digest_into(&self, d: &mut metrics::Digest) {
+        match self {
+            InterDest::OutsideUniform => d.write_u64(0),
+            InterDest::Region(a) => {
+                d.write_u64(1);
+                d.write_u64(*a as u64);
+            }
+            InterDest::Pattern(p) => {
+                d.write_u64(2);
+                p.digest_into(d);
+            }
+        }
+    }
 }
 
 /// Per-app precomputed state.
@@ -218,6 +245,17 @@ impl TrafficSource for Scenario {
                 class: self.reply_class,
             }),
         })
+    }
+
+    fn next_injection_cycle(&self, _now: u64) -> Option<u64> {
+        // A Bernoulli source must be consulted (and must draw) every cycle;
+        // only the all-silent scenario can promise anything — and then
+        // `generate` short-circuits before touching the RNG, so "never
+        // again" is side-effect-free.
+        self.apps
+            .iter()
+            .all(|a| a.as_ref().is_none_or(|s| s.pkt_prob == 0.0))
+            .then_some(u64::MAX)
     }
 }
 

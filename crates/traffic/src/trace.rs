@@ -185,6 +185,19 @@ impl TrafficSource for TraceReplay {
             _ => None,
         }
     }
+
+    fn next_injection_cycle(&self, now: u64) -> Option<u64> {
+        // Per-node queues are cycle-sorted and consumed without RNG; a
+        // past-due front event (node was polled while its VCs were busy)
+        // clamps to now.
+        Some(
+            self.per_node
+                .iter()
+                .filter_map(|q| q.front().map(|&(c, _)| c.max(now)))
+                .min()
+                .unwrap_or(u64::MAX),
+        )
+    }
 }
 
 #[cfg(test)]
