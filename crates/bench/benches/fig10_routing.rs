@@ -31,7 +31,7 @@ fn regen_and_time(c: &mut Criterion) {
                 );
                 net.run(TIMED_CYCLES);
                 net.stats.recorder.delivered()
-            })
+            });
         });
     }
     g.finish();

@@ -30,7 +30,7 @@ fn regen_and_time(c: &mut Criterion) {
                 let mut net = build_network(&cfg, &region, &scheme, routing, Box::new(scenario), 1);
                 net.run(TIMED_CYCLES);
                 net.stats.recorder.delivered()
-            })
+            });
         });
     }
     g.finish();

@@ -110,7 +110,7 @@ fn micro(c: &mut Criterion) {
             );
             net.run(1_000);
             net.cycle()
-        })
+        });
     });
     // The same idle mesh with the fast-forward disabled: measures what the
     // event-driven jump saves over plain (active-set) ticking.
@@ -120,7 +120,7 @@ fn micro(c: &mut Criterion) {
             net.set_fast_forward(false);
             net.run(1_000);
             net.cycle()
-        })
+        });
     });
     g.bench_function("saturated_1k_cycles", |b| {
         b.iter(|| {
@@ -135,7 +135,7 @@ fn micro(c: &mut Criterion) {
             );
             net.run(1_000);
             net.stats.recorder.delivered()
-        })
+        });
     });
     // The acceptance pair for the active-set fast path: at ~5% of
     // saturation the fast tick must beat the exhaustive scan by >=2x; at
@@ -147,7 +147,7 @@ fn micro(c: &mut Criterion) {
                     let mut net = flood_net(rate, exhaustive);
                     net.run(1_000);
                     net.stats.recorder.delivered()
-                })
+                });
             });
         }
         // The oracle cost model: explicitly disabled must be within noise
@@ -159,7 +159,7 @@ fn micro(c: &mut Criterion) {
                     let mut net = flood_net_oracle(rate, false, oracle);
                     net.run(1_000);
                     net.stats.recorder.delivered()
-                })
+                });
             });
         }
     }

@@ -18,13 +18,14 @@ use experiments::runner::ExpConfig;
 use metrics::Table;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] [--oracle] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] [--oracle] [--inject-cyclic] \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|verify-config|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
     let mut ec = ExpConfig::full();
     let mut csv = false;
+    let mut inject_cyclic = false;
     let mut trace_file = String::from("/tmp/rair_trace.bin");
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
                 // reaches all experiment drivers without threading a flag.
                 std::env::set_var("RAIR_ORACLE", "1");
             }
+            "--inject-cyclic" => inject_cyclic = true,
             "--trace-file" => match args.next() {
                 Some(p) => trace_file = p,
                 None => {
@@ -87,7 +89,7 @@ fn main() -> ExitCode {
             "ablation-rank",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     }
 
@@ -192,6 +194,14 @@ fn main() -> ExitCode {
                 }
             }
             "trace-demo" => trace_demo(&ec, &trace_file, csv),
+            "verify-config" => {
+                if inject_cyclic {
+                    return verify_config_negative();
+                }
+                if let Some(code) = verify_config_positive(&emit) {
+                    return code;
+                }
+            }
             "bench-kernel" => {
                 let rows = experiments::bench_kernel::run(&ec);
                 emit(&experiments::bench_kernel::table(&rows));
@@ -220,7 +230,7 @@ fn main() -> ExitCode {
             }
             "ablation-delta" => emit(&figs::ablation::table(&figs::ablation::delta_sweep(&ec))),
             "ablation-vcsplit" => {
-                emit(&figs::ablation::table(&figs::ablation::vc_split_sweep(&ec)))
+                emit(&figs::ablation::table(&figs::ablation::vc_split_sweep(&ec)));
             }
             "ablation-rank" => emit(&figs::ablation::table(&figs::ablation::rank_estimation(
                 &ec,
@@ -233,6 +243,73 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Run the static verifier over the full shipped scheme×routing×region
+/// matrix (plus LBDR-confined variants). Returns `Some(FAILURE)` when any
+/// configuration fails, printing the witnesses; `None` on success.
+fn verify_config_positive(emit: &impl Fn(&Table)) -> Option<ExitCode> {
+    use experiments::verify_config as vc;
+    let rows = vc::run_matrix();
+    emit(&vc::table(&rows));
+    let json = vc::to_json(&rows);
+    std::fs::write("VERIFY_report.json", &json).expect("write VERIFY_report.json");
+    eprintln!(
+        "[repro] wrote {} verification rows to VERIFY_report.json",
+        rows.len()
+    );
+    let mut failed = false;
+    for r in &rows {
+        if r.violations > 0 {
+            failed = true;
+            eprintln!(
+                "[repro] VERIFY FAILED {}/{} (lbdr {}): {}",
+                r.region,
+                r.routing,
+                r.lbdr,
+                r.first_witness.as_deref().unwrap_or("(no witness)")
+            );
+        }
+    }
+    for (label, errs) in vc::scheme_checks() {
+        for e in &errs {
+            failed = true;
+            eprintln!("[repro] SCHEME CHECK FAILED {label}: {e}");
+        }
+    }
+    if failed {
+        eprintln!("[repro] static verification FAILED");
+        return Some(ExitCode::FAILURE);
+    }
+    println!(
+        "static verification: all {} configurations proved deadlock-free and legal\n",
+        rows.len()
+    );
+    None
+}
+
+/// Run the injected-fault battery: every deliberately broken configuration
+/// must be rejected with a concrete witness. Always exits nonzero (the
+/// configurations are invalid); prints `NOT REJECTED` if the verifier
+/// missed one, which the CLI tests treat as a verifier bug.
+fn verify_config_negative() -> ExitCode {
+    let cases = experiments::verify_config::negative_battery();
+    for c in &cases {
+        if c.rejected {
+            println!("[{}] rejected with witness: {}", c.name, c.witness);
+        } else {
+            println!(
+                "[{}] NOT REJECTED — verifier missed an injected fault",
+                c.name
+            );
+        }
+    }
+    eprintln!(
+        "[repro] {} injected cyclic/broken configs, {} rejected",
+        cases.len(),
+        cases.iter().filter(|c| c.rejected).count()
+    );
+    ExitCode::FAILURE
 }
 
 /// Capture a six-application trace to `path`, then replay the *identical*

@@ -66,7 +66,7 @@ impl SixAppResult {
             .iter()
             .find(|(l, _)| l == label)
             .unwrap_or_else(|| panic!("no scheme {label}"));
-        let idx: Vec<usize> = apps.map_or((0..6).collect(), |a| a.to_vec());
+        let idx: Vec<usize> = apps.map_or((0..6).collect(), <[usize]>::to_vec);
         let r: f64 = idx.iter().map(|&a| 1.0 - apl[a] / base[a]).sum();
         r / idx.len() as f64
     }

@@ -15,6 +15,7 @@ pub mod bench_kernel;
 pub mod figs;
 pub mod runner;
 pub mod sweep;
+pub mod verify_config;
 
 pub use runner::{
     run_one, run_parallel, run_parallel_results, ExpConfig, Job, JobError, RunResult,

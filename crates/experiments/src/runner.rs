@@ -172,7 +172,7 @@ impl Job {
         catch_unwind(AssertUnwindSafe(run)).map_err(|payload| {
             let message = payload
                 .downcast_ref::<&str>()
-                .map(|s| s.to_string())
+                .map(std::string::ToString::to_string)
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             JobError { label, message }
@@ -201,12 +201,10 @@ impl std::fmt::Display for JobError {
 fn worker_count_from(env_threads: Option<&str>, jobs: usize) -> usize {
     env_threads
         .and_then(|s| s.trim().parse::<usize>().ok())
-        .map(|t| t.max(1))
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
-        })
+        .map_or_else(
+            || std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
+            |t| t.max(1),
+        )
         .min(jobs)
 }
 
@@ -269,7 +267,7 @@ pub fn run_parallel(jobs: Vec<Job>) -> Vec<RunResult> {
     let results = run_parallel_results(jobs);
     let failures: Vec<String> = results
         .iter()
-        .filter_map(|r| r.as_ref().err().map(|e| e.to_string()))
+        .filter_map(|r| r.as_ref().err().map(std::string::ToString::to_string))
         .collect();
     assert!(
         failures.is_empty(),

@@ -21,7 +21,7 @@ use noc_sim::network::Network;
 use noc_sim::region::RegionMap;
 use noc_sim::source::TrafficSource;
 use rair::scheme::{Routing, Scheme};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -52,7 +52,7 @@ const MEM_CACHE_CAP: usize = 256;
 
 /// Bounded FIFO map: the in-memory layer of the saturation cache.
 struct MemCache {
-    map: HashMap<u64, f64>,
+    map: BTreeMap<u64, f64>,
     order: VecDeque<u64>,
 }
 
@@ -72,7 +72,7 @@ fn sat_cache() -> &'static Mutex<MemCache> {
     static CACHE: OnceLock<Mutex<MemCache>> = OnceLock::new();
     CACHE.get_or_init(|| {
         Mutex::new(MemCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
         })
     })
@@ -135,8 +135,7 @@ fn sat_digest(
 /// `results/cache` relative to the working directory.
 fn cache_dir() -> PathBuf {
     std::env::var_os("RAIR_CACHE_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results").join("cache"))
+        .map_or_else(|| PathBuf::from("results").join("cache"), PathBuf::from)
 }
 
 fn cache_path(key: u64) -> PathBuf {
@@ -241,7 +240,8 @@ mod tests {
     /// `RAIR_CACHE_DIR` environment variable.
     fn env_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Point the disk cache at a unique temp directory for one test.
@@ -322,7 +322,7 @@ mod tests {
         // No stray temp files remain after a completed write.
         let leftovers: Vec<_> = std::fs::read_dir(cache_dir())
             .unwrap()
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "torn temp files: {leftovers:?}");
@@ -334,7 +334,7 @@ mod tests {
     #[test]
     fn memory_layer_is_bounded() {
         let mut cache = MemCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
         };
         for k in 0..(MEM_CACHE_CAP as u64 + 50) {

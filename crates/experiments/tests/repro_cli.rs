@@ -99,6 +99,45 @@ fn oracle_experiment_reports_zero_violations() {
 }
 
 #[test]
+fn verify_config_proves_all_shipped_configs() {
+    let dir = std::env::temp_dir().join("rair_verify_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = repro()
+        .arg("verify-config")
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Static verification"), "{s}");
+    assert!(s.contains("proved deadlock-free and legal"), "{s}");
+    assert!(dir.join("VERIFY_report.json").exists());
+    std::fs::remove_file(dir.join("VERIFY_report.json")).ok();
+}
+
+#[test]
+fn verify_config_inject_cyclic_exits_nonzero_with_witnesses() {
+    let out = repro()
+        .args(["verify-config", "--inject-cyclic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "injected faults must exit nonzero");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("rejected with witness"), "{s}");
+    // The cyclic configs print a concrete channel cycle.
+    assert!(s.contains("cycle r"), "{s}");
+    assert!(
+        s.contains("unreachable pair") || s.contains("no escape channel"),
+        "{s}"
+    );
+    assert!(!s.contains("NOT REJECTED"), "verifier missed a fault: {s}");
+}
+
+#[test]
 fn trace_demo_roundtrips_through_file() {
     let dir = std::env::temp_dir().join("rair_repro_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -6,6 +6,8 @@
 //! mirror the rows/series of the paper's figures. Everything here is
 //! allocation-light so it can be updated on the simulator's hot path.
 
+#![forbid(unsafe_code)]
+
 pub mod digest;
 pub mod histogram;
 pub mod latency;

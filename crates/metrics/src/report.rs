@@ -17,7 +17,7 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Self {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -42,7 +42,7 @@ impl Table {
 
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());

@@ -3,6 +3,7 @@
 use crate::ids::{Coord, MsgClass, NodeId, NUM_PORTS};
 use crate::oracle::OracleConfig;
 use crate::vc::{VcClass, VcTag};
+use crate::verify::VerifyConfig;
 use serde::{Deserialize, Serialize};
 
 /// Network and router-microarchitecture configuration.
@@ -40,6 +41,9 @@ pub struct SimConfig {
     pub block_bytes: usize,
     /// Invariant-oracle toggle and tuning (see [`OracleConfig`]).
     pub oracle: OracleConfig,
+    /// Static deadlock-freedom/legality verifier toggle (see
+    /// [`VerifyConfig`]); resolved at `Network::new`.
+    pub verify: VerifyConfig,
 }
 
 impl Default for SimConfig {
@@ -65,6 +69,7 @@ impl SimConfig {
             mem_latency: 128,
             block_bytes: 64,
             oracle: OracleConfig::default(),
+            verify: VerifyConfig::default(),
         }
     }
 
@@ -182,7 +187,8 @@ impl SimConfig {
 
     /// Fold every simulation-relevant parameter into `d`. Used to build
     /// collision-proof cache keys; deliberately excludes `block_bytes`
-    /// (documentation only) and `oracle` (observability, not behaviour).
+    /// (documentation only) and `oracle`/`verify` (observability, not
+    /// behaviour).
     pub fn digest_into(&self, d: &mut metrics::Digest) {
         d.write_u64(self.width as u64);
         d.write_u64(self.height as u64);

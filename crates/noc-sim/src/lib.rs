@@ -36,6 +36,8 @@
 //! assert!(net.is_drained());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod arbitration;
 pub mod config;
@@ -50,6 +52,7 @@ pub mod routing;
 pub mod source;
 pub mod stats;
 pub mod vc;
+pub mod verify;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -60,9 +63,12 @@ pub mod prelude {
     pub use crate::network::Network;
     pub use crate::oracle::{Fault, OracleConfig, OracleViolation};
     pub use crate::region::RegionMap;
-    pub use crate::routing::{DbarAdaptive, DuatoLocalAdaptive, RoutingAlgorithm, XyRouting};
+    pub use crate::routing::{
+        DbarAdaptive, DuatoLocalAdaptive, NextHops, RoutingAlgorithm, XyRouting,
+    };
     pub use crate::source::{NewPacket, NoTraffic, ScriptedSource, TrafficSource};
     pub use crate::stats::SimStats;
     pub use crate::vc::{VcClass, VcTag};
+    pub use crate::verify::{Verifier, VerifyConfig, VerifyReport, VerifyViolation, Witness};
     pub use metrics::LatencyKind;
 }

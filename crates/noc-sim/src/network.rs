@@ -191,6 +191,30 @@ impl Network {
             .oracle
             .resolve_enabled()
             .then(|| Box::new(Oracle::from_config(&cfg, num_apps)));
+        // Static deadlock-freedom/legality verification, resolved like the
+        // oracle (debug-on / release-off / RAIR_VERIFY env): no illegal
+        // configuration reaches the cycle kernel. Results are memoized
+        // process-wide, so construction-heavy tests verify each distinct
+        // configuration once.
+        let mut stats = SimStats::new(num_apps);
+        if cfg.verify.resolve_enabled() {
+            let (violations, count) =
+                crate::verify::verify_network_cached(&cfg, &region, routing.as_ref());
+            if count > 0 && cfg.verify.resolve_panic() {
+                panic!(
+                    "static verifier: {} violation(s) for routing {}:\n{}",
+                    count,
+                    routing.name(),
+                    violations
+                        .iter()
+                        .map(|v| format!("  {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
+            stats.verify_violations = violations;
+            stats.verify_violation_count = count;
+        }
         // Routers are constructed dirty (occ_dirty = true) so the first
         // state update always runs; mirror that in the dirty mask.
         let mut dirty_mask = vec![!0u64; n.div_ceil(64)];
@@ -211,7 +235,7 @@ impl Network {
             eject_q: Vec::new(),
             credit_q: Vec::new(),
             congestion: vec![0; n],
-            stats: SimStats::new(num_apps),
+            stats,
             analysis: None,
             oracle,
             fault_frozen: None,
@@ -554,8 +578,7 @@ impl Network {
             let k = self
                 .oracle
                 .as_ref()
-                .map(|o| o.check_interval())
-                .unwrap_or(1)
+                .map_or(1, |o| o.check_interval())
                 .max(1);
             let mut c = start.next_multiple_of(k);
             while c < target {

@@ -137,7 +137,11 @@ impl Node {
 
     /// Packets waiting in the source queues (saturation/backlog signal).
     pub fn backlog(&self) -> usize {
-        self.src_q.iter().map(|q| q.len()).sum::<usize>() + usize::from(self.inject.is_some())
+        self.src_q
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .sum::<usize>()
+            + usize::from(self.inject.is_some())
     }
 
     /// Replies still being serviced.

@@ -57,6 +57,31 @@ pub trait RoutingAlgorithm: Send + Sync {
     /// known to have an allocatable adaptive VC). Returns an index into
     /// `cands`.
     fn select(&self, ctx: &SelectCtx<'_>, cands: &[Port]) -> usize;
+
+    /// Pure, state-independent enumeration of the routing function at
+    /// `(cur, dst)`: every output port a packet may legally occupy a VC on,
+    /// split by VC class. The static verifier ([`crate::verify`]) builds
+    /// the channel dependency graph from this; it must describe exactly
+    /// the port/VC-class pairs the RC/VA stages legalize at runtime. The
+    /// default mirrors the kernel: the algorithm's adaptive ports on
+    /// adaptive VCs plus the dimension-order port on the escape VC.
+    /// `cur != dst` is guaranteed by the caller.
+    fn next_hops(&self, cur: Coord, dst: Coord) -> NextHops {
+        NextHops {
+            adaptive: self.adaptive_ports(cur, dst),
+            escape: escape_port(cur, dst),
+        }
+    }
+}
+
+/// The statically-enumerated legal hops at one `(cur, dst)` point — see
+/// [`RoutingAlgorithm::next_hops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHops {
+    /// Ports usable on adaptive VCs (up to one per dimension).
+    pub adaptive: [Option<Port>; 2],
+    /// The port usable on the per-class escape VCs.
+    pub escape: Port,
 }
 
 /// Dimension-order (XY) port toward `dst`: exhaust X offset first, then Y.

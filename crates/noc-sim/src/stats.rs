@@ -1,6 +1,7 @@
 //! Run-level statistics.
 
 use crate::oracle::OracleViolation;
+use crate::verify::VerifyViolation;
 use metrics::{Digest, LatencyKind, LatencyRecorder};
 
 /// Statistics gathered during a simulation run.
@@ -42,6 +43,15 @@ pub struct SimStats {
     pub oracle_violations: Vec<OracleViolation>,
     /// Total invariant violations detected (uncapped).
     pub oracle_violation_count: u64,
+    /// Violations found by the static configuration verifier at
+    /// construction time, capped at
+    /// [`crate::verify::MAX_RECORDED_VIOLATIONS`]. Empty when the verifier
+    /// is disabled or the configuration proved clean. Deliberately
+    /// excluded from [`Self::digest`]: the verifier observes the
+    /// configuration, it does not alter simulation outcome.
+    pub verify_violations: Vec<VerifyViolation>,
+    /// Total static-verifier violations (uncapped).
+    pub verify_violation_count: u64,
 }
 
 impl SimStats {
@@ -59,6 +69,8 @@ impl SimStats {
             idle_cycles_skipped: 0,
             oracle_violations: Vec::new(),
             oracle_violation_count: 0,
+            verify_violations: Vec::new(),
+            verify_violation_count: 0,
         }
     }
 

@@ -91,7 +91,7 @@ proptest! {
         ptr0 in 0usize..10,
     ) {
         // De-duplicate slot keys (hardware has one request per slot).
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let reqs: Vec<(u64, usize)> =
             reqs.into_iter().filter(|&(_, k)| seen.insert(k)).collect();
         prop_assume!(!reqs.is_empty());

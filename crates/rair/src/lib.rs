@@ -32,11 +32,14 @@
 //! assert_eq!(policy.name(), "RA_RAIR");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dpa;
 pub mod lbdr;
 pub mod msp;
 pub mod policy;
 pub mod scheme;
+pub mod verify;
 
 /// Commonly used items in one import.
 pub mod prelude {

@@ -14,6 +14,8 @@
 //! * [`adversarial`] — the chip-wide malicious-traffic injector of §V.G;
 //! * [`trace`] — binary trace capture and deterministic replay.
 
+#![forbid(unsafe_code)]
+
 pub mod adversarial;
 pub mod pattern;
 pub mod saturation;

@@ -169,7 +169,10 @@ impl TraceReplay {
 
     /// Events not yet replayed.
     pub fn remaining(&self) -> usize {
-        self.per_node.iter().map(|q| q.len()).sum()
+        self.per_node
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .sum()
     }
 }
 

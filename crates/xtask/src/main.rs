@@ -1,0 +1,52 @@
+//! `cargo run -p xtask -- lint` — the kernel determinism lint.
+//!
+//! Exits nonzero and prints one line per finding when any banned token
+//! (hash collections, OS entropy, wall clock, unordered parallelism)
+//! appears in a kernel crate outside a `// lint: allow(rule)` escape.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("--help" | "-h") => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            if let Some(cmd) = other {
+                eprintln!("unknown task `{cmd}`");
+            }
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo run -p xtask -- lint");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint    ban nondeterministic std/rayon tokens from the kernel crates");
+    eprintln!();
+    eprintln!("rules:");
+    for r in xtask::RULES {
+        eprintln!("  {:<24} {}", r.name, r.why);
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = xtask::workspace_root();
+    let findings = xtask::lint_workspace(&root);
+    if findings.is_empty() {
+        let files: usize = xtask::SCOPES.len();
+        println!("xtask lint: clean ({files} scopes, 0 findings)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("xtask lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,140 @@
+//! Tests of the determinism lint: scanner correctness (comments, strings,
+//! lifetimes, raw strings), every rule firing on a minimal fixture, the
+//! `lint: allow` escape hatch, the full workspace staying clean, and the
+//! revert-one-satellite regression (putting `HashMap` back into `sweep.rs`
+//! must make the lint fail).
+
+use xtask::{lint_source, rule, Finding, RULES};
+
+fn all_rules() -> Vec<&'static xtask::Rule> {
+    RULES.iter().collect()
+}
+
+fn lint(src: &str) -> Vec<Finding> {
+    lint_source("fixture.rs", src, &all_rules())
+}
+
+#[test]
+fn every_rule_fires_on_a_minimal_fixture() {
+    let cases = [
+        ("hash-collections", "use std::collections::HashMap;\n"),
+        (
+            "hash-collections",
+            "let s: HashSet<u32> = Default::default();\n",
+        ),
+        ("os-entropy", "let mut rng = rand::thread_rng();\n"),
+        ("os-entropy", "let r = SmallRng::from_entropy();\n"),
+        ("wall-clock", "let t0 = std::time::Instant::now();\n"),
+        ("wall-clock", "let t = SystemTime::now();\n"),
+        (
+            "unordered-parallelism",
+            "jobs.par_iter().map(run).collect()\n",
+        ),
+        ("unordered-parallelism", "v.into_par_iter().sum()\n"),
+    ];
+    for (want, src) in cases {
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{src:?} -> {f:?}");
+        assert_eq!(f[0].rule, want, "{src:?}");
+        assert_eq!(f[0].line, 1);
+    }
+}
+
+#[test]
+fn strings_and_comments_never_fire() {
+    let src = r##"
+// HashMap in a line comment is fine.
+/* HashMap in a /* nested */ block comment is fine. */
+/// Doc mentioning thread_rng and Instant is fine.
+let s = "HashMap inside a string";
+let r = r#"SystemTime inside a raw "string" with quotes"#;
+let c = '"'; // char literal holding a quote must not open a string
+let esc = "escaped \" quote then HashMap";
+"##;
+    assert!(lint(src).is_empty(), "{:?}", lint(src));
+}
+
+#[test]
+fn lifetimes_do_not_confuse_the_char_scanner() {
+    // A naive char-literal scanner treats `'a` as an unterminated literal
+    // and swallows the rest of the file, hiding the HashMap on line 2.
+    let src =
+        "fn f<'a>(x: &'a str, s: &'static str) -> &'a str { x }\nuse std::collections::HashMap;\n";
+    let f = lint(src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!((f[0].rule, f[0].line), ("hash-collections", 2));
+}
+
+#[test]
+fn allow_escape_hatch_same_line_and_preceding_line() {
+    let trailing = "use std::time::Instant; // lint: allow(wall-clock)\n";
+    assert!(lint(trailing).is_empty());
+
+    let preceding = "// lint: allow(wall-clock)\nlet t0 = Instant::now();\n";
+    assert!(lint(preceding).is_empty());
+
+    // The allowance is per-rule: it must not silence other rules…
+    let wrong_rule = "use std::collections::HashMap; // lint: allow(wall-clock)\n";
+    assert_eq!(lint(wrong_rule).len(), 1);
+
+    // …and per-line: line 3 is out of the directive's reach.
+    let too_far = "// lint: allow(wall-clock)\n\nlet t0 = Instant::now();\n";
+    assert_eq!(lint(too_far).len(), 1);
+}
+
+#[test]
+fn token_match_is_whole_identifier_only() {
+    // Substrings of longer identifiers must not fire.
+    let src = "struct MyHashMapLike; fn instant_ish() {} let par_iteration = 3;\n";
+    assert!(lint(src).is_empty(), "{:?}", lint(src));
+}
+
+#[test]
+fn findings_render_with_path_line_and_reason() {
+    let f = lint("use std::collections::HashMap;\n");
+    let s = f[0].to_string();
+    assert!(s.contains("fixture.rs:1"), "{s}");
+    assert!(s.contains("hash-collections"), "{s}");
+    assert!(s.contains("BTreeMap"), "{s}");
+}
+
+#[test]
+fn rule_lookup() {
+    assert!(rule("os-entropy").is_some());
+    assert!(rule("no-such-rule").is_none());
+}
+
+#[test]
+fn workspace_is_clean() {
+    let findings = xtask::lint_workspace(&xtask::workspace_root());
+    assert!(
+        findings.is_empty(),
+        "determinism lint found banned tokens:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Revert-one-satellite check: the PR converted `sweep.rs` from `HashMap`
+/// to `BTreeMap`. Undo that conversion textually and the lint must fail —
+/// proving the lint actually guards the conversion rather than both
+/// changes passing vacuously.
+#[test]
+fn reverting_the_sweep_btreemap_conversion_fails_the_lint() {
+    let path = xtask::workspace_root().join("crates/experiments/src/sweep.rs");
+    let src = std::fs::read_to_string(&path).unwrap();
+    assert!(src.contains("BTreeMap"), "sweep.rs no longer uses BTreeMap");
+    let reverted = src.replace("BTreeMap", "HashMap");
+    let findings = lint_source("crates/experiments/src/sweep.rs", &reverted, &all_rules());
+    assert!(
+        findings.iter().any(|f| f.rule == "hash-collections"),
+        "lint missed the reverted HashMap: {findings:?}"
+    );
+    // And the shipped file, unreverted, is clean under the same rules.
+    assert!(lint_source("sweep.rs", &src, &all_rules())
+        .iter()
+        .all(|f| f.rule != "hash-collections"));
+}

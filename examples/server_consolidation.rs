@@ -63,7 +63,7 @@ fn main() {
     let names = ["blackscholes", "swaptions", "fluidanimate", "raytrace"];
     let intensities: Vec<f64> = AppModel::parsec_four()
         .iter()
-        .map(|m| m.mean_rate())
+        .map(AppModel::mean_rate)
         .collect();
     println!("four VMs (one per quadrant): {names:?}");
     println!("rogue agent: chip-wide uniform traffic at 0.4 flits/cycle/node\n");

@@ -157,7 +157,7 @@ fn fig17_shape_rair_protects_against_adversary() {
     let cfg = SimConfig::table1_req_reply();
     let region = RegionMap::quadrants(&cfg);
     let models = AppModel::parsec_four();
-    let intensities: Vec<f64> = models.iter().map(|m| m.mean_rate()).collect();
+    let intensities: Vec<f64> = models.iter().map(AppModel::mean_rate).collect();
     let slowdown = |scheme: &Scheme| -> f64 {
         let mk = |adv: bool| {
             let w = ParsecWorkload::new(&cfg, &region, models.clone());
