@@ -66,6 +66,27 @@ fn flood_net(rate: f64, exhaustive: bool) -> Network {
     flood_net_oracle(rate, exhaustive, None)
 }
 
+/// The flood mesh with the transient-fault machinery live at `ber` (no
+/// permanent events), against the default build's empty timeline.
+fn flood_net_fault(rate: f64, ber: f64) -> Network {
+    let mut cfg = SimConfig::table1();
+    cfg.fault = FaultTimeline {
+        transient_ber: ber,
+        seed: 7,
+        events: Vec::new(),
+    };
+    let mut net = Network::new(
+        cfg,
+        RegionMap::single(&SimConfig::table1()),
+        Box::new(DuatoLocalAdaptive),
+        Box::new(RoundRobin),
+        Box::new(Flood { rate }),
+        1,
+    );
+    net.set_force_exhaustive(false);
+    net
+}
+
 /// Print what the kernel fast paths elide at this load.
 fn report_skip(label: &str, rate: f64) {
     let mut net = flood_net(rate, false);
@@ -162,6 +183,17 @@ fn micro(c: &mut Criterion) {
                 });
             });
         }
+        // The fault-machinery cost model: an empty timeline is proven
+        // off-path by the golden digests, so the interesting number is
+        // the live ARQ draw — per-traversal corruption at BER 1e-3 —
+        // against the `tick_1k_{label}_fast` baseline above.
+        g.bench_function(&format!("tick_1k_{label}_fault_ber1e3"), |b| {
+            b.iter(|| {
+                let mut net = flood_net_fault(rate, 1e-3);
+                net.run(1_000);
+                net.stats.recorder.delivered()
+            });
+        });
     }
     g.finish();
 }

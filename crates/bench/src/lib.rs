@@ -16,6 +16,7 @@ pub fn bench_config() -> ExpConfig {
         measure: 6_000,
         seed: 0xBE7C4,
         quick: true,
+        cycle_budget: None,
     }
 }
 

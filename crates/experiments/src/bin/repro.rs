@@ -18,13 +18,14 @@ use experiments::runner::ExpConfig;
 use metrics::Table;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--quick] [--seed N] [--csv] [--oracle] [--inject-cyclic] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|verify-config|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--inject-cyclic] \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
     let mut ec = ExpConfig::full();
     let mut csv = false;
+    let mut smoke = false;
     let mut inject_cyclic = false;
     let mut trace_file = String::from("/tmp/rair_trace.bin");
     let mut experiments: Vec<String> = Vec::new();
@@ -45,6 +46,15 @@ fn main() -> ExitCode {
                 }
             },
             "--csv" => csv = true,
+            // CI-sized: quick windows plus a reduced matrix for the
+            // experiments that support it (currently `resilience`).
+            "--smoke" => {
+                smoke = true;
+                ec = ExpConfig {
+                    seed: ec.seed,
+                    ..ExpConfig::quick()
+                };
+            }
             "--oracle" => {
                 // Every Network built by this process resolves the toggle
                 // through SimConfig::oracle / RAIR_ORACLE, so the env var
@@ -190,6 +200,34 @@ fn main() -> ExitCode {
                 );
                 if m.total_violations() > 0 {
                     eprintln!("[repro] ORACLE FOUND VIOLATIONS — kernel invariants broken");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "resilience" => {
+                let rows = figs::resilience::run(&ec, smoke);
+                emit(&figs::resilience::table(&rows));
+                let json = figs::resilience::to_json(&rows);
+                std::fs::write("RESILIENCE_report.json", &json)
+                    .expect("write RESILIENCE_report.json");
+                eprintln!(
+                    "[repro] wrote {} resilience rows to RESILIENCE_report.json",
+                    rows.len()
+                );
+                let worst = figs::resilience::worst_fraction(&rows);
+                println!(
+                    "worst delivered fraction across faulted cells: {worst:.4} (target >= 0.99)\n"
+                );
+                let viol: u64 = rows.iter().map(|r| r.oracle_violations).sum();
+                if viol > 0 {
+                    eprintln!(
+                        "[repro] RESILIENCE FAILED — {viol} oracle violation(s) under faults"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if worst < 0.99 {
+                    eprintln!(
+                        "[repro] RESILIENCE FAILED — delivered fraction {worst:.4} below 0.99"
+                    );
                     return ExitCode::FAILURE;
                 }
             }

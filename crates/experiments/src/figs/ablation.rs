@@ -62,7 +62,7 @@ fn run_rows(
                     Box::new(scenario),
                     ec.seed,
                 );
-                run_one(label, net, &ec)
+                run_one(label.clone(), net, &ec)
             })
         })
         .collect();

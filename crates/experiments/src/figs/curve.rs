@@ -39,7 +39,7 @@ pub fn run(ec: &ExpConfig, pattern: Pattern, max_rate: f64, steps: usize) -> Cur
                     rate_flits: rate,
                     intra: 0.0,
                     inter: 1.0,
-                    inter_dest: InterDest::Pattern(pattern),
+                    inter_dest: InterDest::Pattern(pattern.clone()),
                     mc: 0.0,
                 };
                 let scenario = Scenario::new(&cfg, &region, vec![Some(spec)]);
@@ -116,6 +116,7 @@ mod tests {
             measure: 5_000,
             seed: 3,
             quick: true,
+            cycle_budget: None,
         };
         let c = run(&ec, Pattern::UniformRandom, 0.6, 6);
         assert_eq!(c.points.len(), 6);

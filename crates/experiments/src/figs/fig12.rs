@@ -101,7 +101,7 @@ pub fn run_variant(ec: &ExpConfig, variant: Variant) -> Fig12Result {
                     Box::new(scenario),
                     ec.seed,
                 );
-                run_one(label, net, &ec)
+                run_one(label.clone(), net, &ec)
             })
         })
         .collect();

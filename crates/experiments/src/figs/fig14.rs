@@ -96,10 +96,10 @@ pub fn run_with_global(ec: &ExpConfig, pattern_label: &str, global: InterDest) -
 
             Job::new(label.clone(), move || {
                 let cfg = SimConfig::table1();
-                let (region, scenario) = six_app(&cfg, rates, global);
+                let (region, scenario) = six_app(&cfg, rates, global.clone());
                 let net =
                     build_network(&cfg, &region, &scheme, routing, Box::new(scenario), ec.seed);
-                run_one(label, net, &ec)
+                run_one(label.clone(), net, &ec)
             })
         })
         .collect();

@@ -66,7 +66,7 @@ pub fn run(ec: &ExpConfig) -> Fig17Result {
             jobs.push(Job::new(label.clone(), move || {
                 let cfg = SimConfig::table1_req_reply();
                 let region = RegionMap::quadrants(&cfg);
-                let workload = ParsecWorkload::new(&cfg, &region, models);
+                let workload = ParsecWorkload::new(&cfg, &region, models.clone());
                 let net = if adversarial {
                     let adv = Adversarial::new(
                         workload,
@@ -78,7 +78,7 @@ pub fn run(ec: &ExpConfig) -> Fig17Result {
                 } else {
                     build_network(&cfg, &region, &scheme, routing, Box::new(workload), ec.seed)
                 };
-                run_one(label, net, &ec)
+                run_one(label.clone(), net, &ec)
             }));
         }
     }

@@ -71,7 +71,7 @@ pub(crate) fn sweep(ec: &ExpConfig, series_defs: &[(&str, Scheme, Routing)]) -> 
                 let (region, scenario) = two_app(&cfg, p, rate0, rate1);
                 let net =
                     build_network(&cfg, &region, &scheme, routing, Box::new(scenario), ec.seed);
-                run_one(label, net, &ec)
+                run_one(label.clone(), net, &ec)
             }));
         }
     }

@@ -12,6 +12,7 @@ pub mod fig17;
 pub mod fig9;
 pub mod lbdr_analysis;
 pub mod oracle_check;
+pub mod resilience;
 pub mod table1;
 
 use crate::runner::ExpConfig;

@@ -18,5 +18,6 @@ pub mod sweep;
 pub mod verify_config;
 
 pub use runner::{
-    run_one, run_parallel, run_parallel_results, ExpConfig, Job, JobError, RunResult,
+    run_one, run_parallel, run_parallel_checkpointed, run_parallel_results, ExpConfig, Job,
+    JobError, RunResult,
 };

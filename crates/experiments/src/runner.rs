@@ -1,16 +1,33 @@
 //! Simulation runner: executes configured networks (optionally in parallel
 //! across a sweep) and extracts per-application results.
 //!
-//! The parallel runner is panic-safe: each job runs under `catch_unwind`,
-//! a panicking job is reported with its label, and the remaining jobs
-//! still complete. `run_parallel` re-raises an aggregate failure only
-//! after the whole sweep has finished, so one diverging configuration
-//! cannot discard the others' completed work.
+//! The parallel runner is hardened against the three ways a long sweep
+//! dies in practice:
+//!
+//! - **Panics**: each job runs under `catch_unwind` and is retried once
+//!   (a panicking job usually reproduces — the retry distinguishes a
+//!   deterministic kernel bug from a transient host hiccup). A job that
+//!   panics twice is reported with its label and both messages; the
+//!   remaining jobs still complete, and `run_parallel` re-raises an
+//!   aggregate failure only after the whole sweep has finished.
+//! - **Runaway configurations**: [`ExpConfig::cycle_budget`] caps the
+//!   simulated cycles of one run. The cap lives in the cycle domain, not
+//!   wall-clock (`Instant` is banned by the determinism lint): the kernel
+//!   is deterministic, so "this config is too slow" is exactly "this
+//!   config was asked to simulate too many cycles". A clamped run is
+//!   marked [`RunResult::truncated`] instead of silently passing.
+//! - **Interruption**: [`run_parallel_checkpointed`] appends every
+//!   finished result to a checkpoint file and, on restart, resumes the
+//!   sweep by replaying completed labels from it instead of re-running
+//!   them. The file is deleted once every job has succeeded.
 
 use metrics::LatencyKind;
 use noc_sim::network::Network;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -23,6 +40,10 @@ pub struct ExpConfig {
     /// Quick mode trades statistical tightness for speed (used by the
     /// Criterion benches and the test suite).
     pub quick: bool,
+    /// Hard cap on simulated cycles per run (warmup + measurement are
+    /// clamped to fit). The cycle-domain analogue of a per-config timeout;
+    /// `None` means unbounded.
+    pub cycle_budget: Option<u64>,
 }
 
 impl ExpConfig {
@@ -33,6 +54,7 @@ impl ExpConfig {
             measure: 100_000,
             seed: 0xC0FFEE,
             quick: false,
+            cycle_budget: None,
         }
     }
 
@@ -43,7 +65,15 @@ impl ExpConfig {
             measure: 15_000,
             seed: 0xC0FFEE,
             quick: true,
+            cycle_budget: None,
         }
+    }
+
+    /// Cap simulated cycles per run (see [`ExpConfig::cycle_budget`]).
+    #[must_use]
+    pub fn with_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
     }
 }
 
@@ -75,6 +105,17 @@ pub struct RunResult {
     pub oracle_enabled: bool,
     /// Invariant violations the oracle recorded (0 when disabled).
     pub oracle_violations: u64,
+    /// Whether [`ExpConfig::cycle_budget`] clamped the warmup/measurement
+    /// windows, i.e. the run timed out in the cycle domain.
+    pub truncated: bool,
+    /// Link-level retransmissions performed (0 without a fault timeline).
+    pub flits_retransmitted: u64,
+    /// Stranded packets re-injected by the source-side retry path.
+    pub packets_retried: u64,
+    /// Packets dropped as undeliverable (drop ledger total).
+    pub packets_dropped: u64,
+    /// Routing reconfigurations after permanent faults.
+    pub reconfigurations: u64,
 }
 
 impl RunResult {
@@ -123,7 +164,11 @@ impl RunResult {
 /// Run one already-built network through warmup + measurement and collect
 /// the result.
 pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> RunResult {
-    net.run_warmup_measure(cfg.warmup, cfg.measure);
+    let budget = cfg.cycle_budget.unwrap_or(u64::MAX);
+    let warmup = cfg.warmup.min(budget);
+    let measure = cfg.measure.min(budget - warmup);
+    let truncated = (warmup, measure) != (cfg.warmup, cfg.measure);
+    net.run_warmup_measure(warmup, measure);
     let rec = &net.stats.recorder;
     let napps = rec.num_apps();
     RunResult {
@@ -143,19 +188,25 @@ pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> R
         idle_cycles_skipped: net.stats.idle_cycles_skipped,
         oracle_enabled: net.oracle_enabled(),
         oracle_violations: net.stats.oracle_violation_count,
+        truncated,
+        flits_retransmitted: net.stats.flits_retransmitted,
+        packets_retried: net.stats.packets_retried,
+        packets_dropped: net.stats.packets_dropped,
+        reconfigurations: net.stats.reconfigurations,
     }
 }
 
 /// A deferred, labeled simulation job for the parallel sweep runner. The
 /// label travels with the job so a panic can be attributed even though the
-/// closure never produced a `RunResult`.
+/// closure never produced a `RunResult`; the closure is `Fn` (not
+/// `FnOnce`) so a panicking job can be retried once.
 pub struct Job {
     label: String,
-    run: Box<dyn FnOnce() -> RunResult + Send>,
+    run: Box<dyn Fn() -> RunResult + Send>,
 }
 
 impl Job {
-    pub fn new(label: impl Into<String>, run: impl FnOnce() -> RunResult + Send + 'static) -> Job {
+    pub fn new(label: impl Into<String>, run: impl Fn() -> RunResult + Send + 'static) -> Job {
         Job {
             label: label.into(),
             run: Box::new(run),
@@ -166,18 +217,36 @@ impl Job {
         &self.label
     }
 
-    /// Run the job, converting a panic into a labeled error.
-    fn execute(self) -> Result<RunResult, JobError> {
-        let Job { label, run } = self;
-        catch_unwind(AssertUnwindSafe(run)).map_err(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(std::string::ToString::to_string)
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            JobError { label, message }
-        })
+    /// Run the job, retrying once on panic (simulation jobs are
+    /// deterministic, so a reproduced panic is a real kernel/config bug;
+    /// a one-off is a host-level hiccup the sweep should survive). A
+    /// double panic becomes a labeled error carrying both messages.
+    fn execute(&self) -> Result<RunResult, JobError> {
+        let attempt = || catch_unwind(AssertUnwindSafe(|| (self.run)()));
+        match attempt() {
+            Ok(r) => Ok(r),
+            Err(first) => {
+                eprintln!("[sweep] job '{}' panicked; retrying once", self.label);
+                attempt().map_err(|second| JobError {
+                    label: self.label.clone(),
+                    message: format!(
+                        "panicked twice (first: {}; retry: {})",
+                        panic_message(first.as_ref()),
+                        panic_message(second.as_ref())
+                    ),
+                })
+            }
+        }
     }
+}
+
+/// Best-effort extraction of a human-readable panic message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(std::string::ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// A job that panicked instead of producing a result.
@@ -208,56 +277,253 @@ fn worker_count_from(env_threads: Option<&str>, jobs: usize) -> usize {
         .min(jobs)
 }
 
-/// Execute jobs across worker threads (one simulation per thread; see
-/// [`worker_count_from`] for the `RAIR_THREADS` override). Results are
-/// returned in job order; a panicking job becomes an `Err` while every
-/// other job still runs to completion. Progress is reported on stderr as
-/// jobs finish.
-pub fn run_parallel_results(jobs: Vec<Job>) -> Vec<Result<RunResult, JobError>> {
-    let n = jobs.len();
-    if n == 0 {
+/// Worker-pool core shared by the plain and checkpointed runners: execute
+/// `(original index, job)` pairs, invoking `on_success` for each completed
+/// result (the checkpoint append hook). `total`/`already` shape the
+/// progress messages when part of the sweep was pre-resolved from a
+/// checkpoint.
+fn run_indexed(
+    jobs: Vec<(usize, Job)>,
+    total: usize,
+    already: usize,
+    on_success: &(dyn Fn(&RunResult) + Sync),
+) -> Vec<(usize, Result<RunResult, JobError>)> {
+    if jobs.is_empty() {
         return Vec::new();
     }
-    let done = AtomicUsize::new(0);
-    let progress = |label: &str| {
-        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-        if n > 1 {
-            eprintln!("[sweep] {d}/{n} done ({label})");
+    let done = AtomicUsize::new(already);
+    let handle = |(idx, job): (usize, Job)| {
+        let r = job.execute();
+        if let Ok(ok) = &r {
+            on_success(ok);
         }
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if total > 1 {
+            eprintln!("[sweep] {d}/{total} done ({})", job.label());
+        }
+        (idx, r)
     };
-    let workers = worker_count_from(std::env::var("RAIR_THREADS").ok().as_deref(), n);
+    let workers = worker_count_from(std::env::var("RAIR_THREADS").ok().as_deref(), jobs.len());
     if workers <= 1 {
-        return jobs
-            .into_iter()
-            .map(|j| {
-                let label = j.label.clone();
-                let r = j.execute();
-                progress(&label);
-                r
-            })
-            .collect();
+        return jobs.into_iter().map(handle).collect();
     }
-    let queue: Mutex<Vec<(usize, Job)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<Result<RunResult, JobError>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, Job)>> = Mutex::new(jobs.into_iter().rev().collect());
+    let results: Mutex<Vec<(usize, Result<RunResult, JobError>)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let job = queue.lock().unwrap().pop();
-                let Some((idx, job)) = job else { break };
-                let label = job.label.clone();
-                let r = job.execute();
-                results.lock().unwrap()[idx] = Some(r);
-                progress(&label);
+                let Some(pair) = job else { break };
+                let out = handle(pair);
+                results.lock().unwrap().push(out);
             });
         }
     });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
+    results.into_inner().unwrap()
+}
+
+/// Execute jobs across worker threads (one simulation per thread; see
+/// [`worker_count_from`] for the `RAIR_THREADS` override). Results are
+/// returned in job order; a job that panics twice becomes an `Err` while
+/// every other job still runs to completion. Progress is reported on
+/// stderr as jobs finish.
+pub fn run_parallel_results(jobs: Vec<Job>) -> Vec<Result<RunResult, JobError>> {
+    let n = jobs.len();
+    let mut out: Vec<Option<Result<RunResult, JobError>>> = (0..n).map(|_| None).collect();
+    for (idx, r) in run_indexed(jobs.into_iter().enumerate().collect(), n, 0, &|_| {}) {
+        out[idx] = Some(r);
+    }
+    out.into_iter()
         .map(|r| r.expect("all jobs completed"))
         .collect()
+}
+
+/// Version tag guarding checkpoint lines against stale formats; bump when
+/// the [`RunResult`] line layout changes so old files are ignored, not
+/// misparsed.
+const CHECKPOINT_TAG: &str = "rair-ckpt-v1";
+
+fn esc_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unesc_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(o) => {
+                out.push('\\');
+                out.push(o);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Exact (bit-level) float round-trip: decimal formatting would perturb
+/// resumed results relative to a straight-through run.
+fn f64_field(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64_field(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// `Vec<Option<f64>>` as one field: `-` for the empty vector, else a
+/// comma list with `_` marking `None` (so `[]` and `[None]` stay distinct).
+fn latency_field(v: &[Option<f64>]) -> String {
+    if v.is_empty() {
+        return "-".into();
+    }
+    v.iter()
+        .map(|o| o.map_or_else(|| "_".into(), f64_field))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_latency_field(s: &str) -> Option<Vec<Option<f64>>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            if t == "_" {
+                Some(None)
+            } else {
+                parse_f64_field(t).map(Some)
+            }
+        })
+        .collect()
+}
+
+/// One completed result as a single checkpoint line (tab-separated,
+/// version-tagged, floats bit-exact).
+fn checkpoint_line(r: &RunResult) -> String {
+    format!(
+        "{CHECKPOINT_TAG}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        esc_label(&r.label),
+        r.delivered,
+        f64_field(r.throughput),
+        r.cycles,
+        r.routers,
+        r.router_cycles_skipped,
+        r.state_updates_skipped,
+        r.idle_cycles_skipped,
+        u8::from(r.oracle_enabled),
+        r.oracle_violations,
+        u8::from(r.truncated),
+        r.flits_retransmitted,
+        r.packets_retried,
+        r.packets_dropped,
+        r.reconfigurations,
+        latency_field(&r.apl),
+        latency_field(&r.total_latency),
+    )
+}
+
+/// Parse one checkpoint line; any malformed, truncated (partial write at
+/// interruption) or version-mismatched line is skipped, not fatal.
+fn parse_checkpoint_line(line: &str) -> Option<RunResult> {
+    let f: Vec<&str> = line.split('\t').collect();
+    if f.len() != 18 || f[0] != CHECKPOINT_TAG {
+        return None;
+    }
+    Some(RunResult {
+        label: unesc_label(f[1]),
+        delivered: f[2].parse().ok()?,
+        throughput: parse_f64_field(f[3])?,
+        cycles: f[4].parse().ok()?,
+        routers: f[5].parse().ok()?,
+        router_cycles_skipped: f[6].parse().ok()?,
+        state_updates_skipped: f[7].parse().ok()?,
+        idle_cycles_skipped: f[8].parse().ok()?,
+        oracle_enabled: f[9] == "1",
+        oracle_violations: f[10].parse().ok()?,
+        truncated: f[11] == "1",
+        flits_retransmitted: f[12].parse().ok()?,
+        packets_retried: f[13].parse().ok()?,
+        packets_dropped: f[14].parse().ok()?,
+        reconfigurations: f[15].parse().ok()?,
+        apl: parse_latency_field(f[16])?,
+        total_latency: parse_latency_field(f[17])?,
+    })
+}
+
+/// Like [`run_parallel_results`], but resumable: results already present
+/// in the checkpoint file (matched by job label — labels must be unique
+/// within a sweep) are replayed without re-running their jobs, every fresh
+/// result is appended to the file as it completes, and the file is
+/// removed once the whole sweep has succeeded. An interrupted or
+/// partially-failed sweep therefore restarts from where it stopped.
+pub fn run_parallel_checkpointed(
+    jobs: Vec<Job>,
+    checkpoint: &Path,
+) -> Vec<Result<RunResult, JobError>> {
+    let n = jobs.len();
+    let mut cached: BTreeMap<String, RunResult> = BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(checkpoint) {
+        for line in text.lines() {
+            if let Some(r) = parse_checkpoint_line(line) {
+                cached.insert(r.label.clone(), r);
+            }
+        }
+    }
+    let mut out: Vec<Option<Result<RunResult, JobError>>> = (0..n).map(|_| None).collect();
+    let mut pending = Vec::new();
+    for (idx, job) in jobs.into_iter().enumerate() {
+        match cached.get(job.label()) {
+            Some(r) => out[idx] = Some(Ok(r.clone())),
+            None => pending.push((idx, job)),
+        }
+    }
+    let resumed = n - pending.len();
+    if resumed > 0 {
+        eprintln!(
+            "[sweep] resumed {resumed}/{n} result(s) from {}",
+            checkpoint.display()
+        );
+    }
+    if !pending.is_empty() {
+        if let Some(dir) = checkpoint.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(checkpoint);
+        let sink: Mutex<Option<std::fs::File>> = Mutex::new(file.ok());
+        let append = |r: &RunResult| {
+            if let Some(f) = sink.lock().unwrap().as_mut() {
+                let _ = writeln!(f, "{}", checkpoint_line(r));
+                let _ = f.flush();
+            }
+        };
+        for (idx, r) in run_indexed(pending, n, resumed, &append) {
+            out[idx] = Some(r);
+        }
+    }
+    let results: Vec<Result<RunResult, JobError>> = out
+        .into_iter()
+        .map(|r| r.expect("all jobs resolved"))
+        .collect();
+    if results.iter().all(Result::is_ok) {
+        let _ = std::fs::remove_file(checkpoint);
+    }
+    results
 }
 
 /// Like [`run_parallel_results`], but panics — after every job has finished
@@ -309,6 +575,7 @@ mod tests {
             measure: 3_000,
             seed: 0,
             quick: true,
+            cycle_budget: None,
         };
         let r = run_one("probe", tiny_net(1), &cfg);
         assert_eq!(r.delivered, 1);
@@ -351,6 +618,11 @@ mod tests {
             idle_cycles_skipped: 0,
             oracle_enabled: false,
             oracle_violations: 0,
+            truncated: false,
+            flits_retransmitted: 0,
+            packets_retried: 0,
+            packets_dropped: 0,
+            reconfigurations: 0,
         };
         assert!(r.app_apl(0).is_nan());
         assert_eq!(r.try_app_apl(0), None);
@@ -367,6 +639,7 @@ mod tests {
             measure: 2_500,
             seed: 0,
             quick: true,
+            cycle_budget: None,
         };
         let mk = |i: usize| -> Job {
             Job::new(format!("job{i}"), move || {
@@ -390,6 +663,7 @@ mod tests {
             measure: 1_000,
             seed: 0,
             quick: true,
+            cycle_budget: None,
         };
         let mut jobs = Vec::new();
         for i in 0..4 {
@@ -428,6 +702,149 @@ mod tests {
     #[test]
     fn empty_jobs_ok() {
         assert!(run_parallel(vec![]).is_empty());
+    }
+
+    /// A plausible fabricated result for runner-plumbing tests that don't
+    /// need a real simulation.
+    fn stub_result(label: &str) -> RunResult {
+        RunResult {
+            label: label.into(),
+            apl: vec![Some(10.0), None],
+            total_latency: vec![Some(12.5), None],
+            delivered: 42,
+            throughput: 0.125,
+            cycles: 5_000,
+            routers: 64,
+            router_cycles_skipped: 7,
+            state_updates_skipped: 8,
+            idle_cycles_skipped: 9,
+            oracle_enabled: true,
+            oracle_violations: 0,
+            truncated: false,
+            flits_retransmitted: 3,
+            packets_retried: 2,
+            packets_dropped: 1,
+            reconfigurations: 1,
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_retried_once() {
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = calls.clone();
+        let job = Job::new("flaky", move || {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure");
+            }
+            stub_result("flaky")
+        });
+        let r = run_parallel_results(vec![job]);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "expected exactly one retry"
+        );
+        assert_eq!(r[0].as_ref().unwrap().label, "flaky");
+    }
+
+    #[test]
+    fn cycle_budget_truncates_run() {
+        let cfg = ExpConfig {
+            warmup: 2_000,
+            measure: 3_000,
+            seed: 0,
+            quick: true,
+            cycle_budget: None,
+        };
+        let bounded = run_one("bounded", tiny_net(1), &cfg.with_budget(2_500));
+        assert_eq!(bounded.cycles, 2_500, "budget must clamp simulated cycles");
+        assert!(bounded.truncated);
+        let free = run_one("free", tiny_net(1), &cfg);
+        assert_eq!(free.cycles, 5_000);
+        assert!(!free.truncated);
+        // A budget that already covers the windows changes nothing.
+        let roomy = run_one("roomy", tiny_net(1), &cfg.with_budget(10_000));
+        assert_eq!(roomy.cycles, 5_000);
+        assert!(!roomy.truncated);
+    }
+
+    #[test]
+    fn checkpoint_line_round_trips_bit_exactly() {
+        let mut r = stub_result("weird\tlabel\\with\nescapes");
+        r.apl = vec![Some(f64::NAN), None, Some(-0.0)];
+        r.total_latency = Vec::new();
+        r.truncated = true;
+        let p = parse_checkpoint_line(&checkpoint_line(&r)).expect("round trip");
+        assert_eq!(p.label, r.label);
+        assert_eq!(p.delivered, r.delivered);
+        assert_eq!(p.throughput.to_bits(), r.throughput.to_bits());
+        assert_eq!(p.cycles, r.cycles);
+        assert_eq!(p.oracle_enabled, r.oracle_enabled);
+        assert!(p.truncated);
+        assert_eq!(p.flits_retransmitted, r.flits_retransmitted);
+        assert_eq!(p.packets_retried, r.packets_retried);
+        assert_eq!(p.packets_dropped, r.packets_dropped);
+        assert_eq!(p.reconfigurations, r.reconfigurations);
+        let bits = |v: &[Option<f64>]| v.iter().map(|o| o.map(f64::to_bits)).collect::<Vec<_>>();
+        assert_eq!(bits(&p.apl), bits(&r.apl));
+        assert!(p.total_latency.is_empty());
+        // Garbage, partial writes, and stale versions are skipped.
+        assert!(parse_checkpoint_line("").is_none());
+        assert!(parse_checkpoint_line("rair-ckpt-v0\tx").is_none());
+        let line = checkpoint_line(&r);
+        assert!(parse_checkpoint_line(&line[..line.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_and_cleans_up() {
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("rair-ckpt-test-{}", std::process::id()));
+        let path = dir.join("sweep.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mk = |label: &str, fail: bool| -> Job {
+            let calls = calls.clone();
+            let label = label.to_string();
+            Job::new(label.clone(), move || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                assert!(!fail, "always failing");
+                stub_result(&label)
+            })
+        };
+        // First pass: two jobs succeed, one fails both attempts — the
+        // checkpoint keeps the two successes.
+        let r1 =
+            run_parallel_checkpointed(vec![mk("a", false), mk("bad", true), mk("c", false)], &path);
+        assert!(r1[0].is_ok() && r1[2].is_ok());
+        assert!(r1[1].is_err());
+        assert!(
+            path.exists(),
+            "partial checkpoint must survive a failed sweep"
+        );
+        let after_first = calls.load(Ordering::SeqCst);
+        assert_eq!(
+            after_first, 4,
+            "2 successes + 2 attempts of the failing job"
+        );
+        // Second pass with the failing job fixed: only it runs; the other
+        // two replay from the checkpoint.
+        let r2 = run_parallel_checkpointed(
+            vec![mk("a", false), mk("bad", false), mk("c", false)],
+            &path,
+        );
+        assert!(r2.iter().all(Result::is_ok));
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            after_first + 1,
+            "resumed jobs must not re-run"
+        );
+        assert_eq!(r2[0].as_ref().unwrap().label, "a");
+        assert!(
+            !path.exists(),
+            "checkpoint removed after a fully green sweep"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

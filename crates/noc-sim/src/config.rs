@@ -1,5 +1,6 @@
 //! Simulator configuration, including the paper's Table 1 parameters.
 
+use crate::fault::FaultTimeline;
 use crate::ids::{Coord, MsgClass, NodeId, NUM_PORTS};
 use crate::oracle::OracleConfig;
 use crate::vc::{VcClass, VcTag};
@@ -44,6 +45,10 @@ pub struct SimConfig {
     /// Static deadlock-freedom/legality verifier toggle (see
     /// [`VerifyConfig`]); resolved at `Network::new`.
     pub verify: VerifyConfig,
+    /// Fault timeline (transient BER + scheduled permanent faults). The
+    /// default (empty) timeline keeps the resilience machinery fully
+    /// off-path and out of the behavioral digest.
+    pub fault: FaultTimeline,
 }
 
 impl Default for SimConfig {
@@ -70,6 +75,7 @@ impl SimConfig {
             block_bytes: 64,
             oracle: OracleConfig::default(),
             verify: VerifyConfig::default(),
+            fault: FaultTimeline::default(),
         }
     }
 
@@ -182,13 +188,15 @@ impl SimConfig {
             );
         }
         self.oracle.validate()?;
+        self.fault.validate(self)?;
         Ok(())
     }
 
     /// Fold every simulation-relevant parameter into `d`. Used to build
     /// collision-proof cache keys; deliberately excludes `block_bytes`
     /// (documentation only) and `oracle`/`verify` (observability, not
-    /// behaviour).
+    /// behaviour). The fault timeline is folded in only when non-empty, so
+    /// pre-fault digests (golden files, cache keys) are unchanged.
     pub fn digest_into(&self, d: &mut metrics::Digest) {
         d.write_u64(self.width as u64);
         d.write_u64(self.height as u64);
@@ -200,6 +208,9 @@ impl SimConfig {
         d.write_u64(self.long_flits as u64);
         d.write_u64(self.l2_latency);
         d.write_u64(self.mem_latency);
+        if !self.fault.is_empty() {
+            self.fault.digest_into(d);
+        }
     }
 }
 
@@ -259,6 +270,22 @@ mod tests {
     fn corners_are_corners() {
         let c = SimConfig::table1();
         assert_eq!(c.corners(), [0, 7, 56, 63]);
+    }
+
+    #[test]
+    fn empty_fault_timeline_keeps_digest_nonempty_changes_it() {
+        let digest = |c: &SimConfig| {
+            let mut d = metrics::Digest::new();
+            c.digest_into(&mut d);
+            d.finish()
+        };
+        let base = SimConfig::table1();
+        let mut with_empty = SimConfig::table1();
+        with_empty.fault = FaultTimeline::default();
+        assert_eq!(digest(&base), digest(&with_empty));
+        let mut with_ber = SimConfig::table1();
+        with_ber.fault.transient_ber = 1e-3;
+        assert_ne!(digest(&base), digest(&with_ber));
     }
 
     #[test]

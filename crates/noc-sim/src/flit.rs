@@ -78,23 +78,59 @@ pub struct Flit {
     pub seq: u32,
     /// Links traversed so far (incremented on every router-to-router hop).
     pub hops: u32,
+    /// Stand-in data word; link-level error control protects it with [`crc16`].
+    pub payload: u64,
+    /// CRC-16/CCITT over `payload`, checked by the oracle's CRC checker.
+    pub crc: u16,
     pub info: PacketInfo,
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over the payload's eight
+/// little-endian bytes — the link-level error-detection code.
+pub fn crc16(payload: u64) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for byte in payload.to_le_bytes() {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Deterministic stand-in payload for flit `seq` of packet `id` (splitmix-style
+/// mix so corruptions flip a random-looking word, not a constant).
+#[inline]
+pub fn payload_of(id: u64, seq: u32) -> u64 {
+    let mut z = id ^ (u64::from(seq) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Flit {
     /// Break a packet descriptor into its flit sequence.
     pub fn flits_of(info: PacketInfo) -> impl Iterator<Item = Flit> {
         let size = info.size;
-        (0..size).map(move |seq| Flit {
-            kind: match (seq, size) {
-                (_, 1) => FlitKind::Single,
-                (0, _) => FlitKind::Head,
-                (s, n) if s + 1 == n => FlitKind::Tail,
-                _ => FlitKind::Body,
-            },
-            seq,
-            hops: 0,
-            info,
+        (0..size).map(move |seq| {
+            let payload = payload_of(info.id, seq);
+            Flit {
+                kind: match (seq, size) {
+                    (_, 1) => FlitKind::Single,
+                    (0, _) => FlitKind::Head,
+                    (s, n) if s + 1 == n => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                },
+                seq,
+                hops: 0,
+                payload,
+                crc: crc16(payload),
+                info,
+            }
         })
     }
 }
@@ -143,5 +179,24 @@ mod tests {
         let f: Vec<Flit> = Flit::flits_of(info(2)).collect();
         assert_eq!(f[0].kind, FlitKind::Head);
         assert_eq!(f[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips() {
+        // Any single-bit payload flip must change the CRC (CRC-16 has
+        // Hamming distance >= 4 at this length).
+        for base in [0u64, 0xDEAD_BEEF_CAFE_F00D] {
+            for bit in 0..64 {
+                assert_ne!(crc16(base), crc16(base ^ (1u64 << bit)), "bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn flits_are_sealed() {
+        for f in Flit::flits_of(info(5)) {
+            assert_eq!(f.crc, crc16(f.payload));
+            assert_eq!(f.payload, payload_of(f.info.id, f.seq));
+        }
     }
 }

@@ -61,26 +61,33 @@
 use crate::analysis::{AnalysisState, JourneyEvent};
 use crate::arbitration::{arbitrate_rr, ArbReq, ArbStage, PriorityPolicy};
 use crate::config::SimConfig;
+use crate::fault::{
+    DegradedMode, DegradedTable, Fault, FaultEvent, FaultState, MAX_SOURCE_RETRIES,
+    RETRANSMIT_LATENCY, RETRY_BACKOFF_BASE, STRANDED_SCAN_INTERVAL,
+};
 use crate::flit::{Flit, FlitKind, PacketInfo};
 use crate::ids::{
     opposite, Coord, NodeId, Port, NUM_PORTS, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH,
     PORT_WEST,
 };
 use crate::node::Node;
-use crate::oracle::{Fault, Oracle};
+use crate::oracle::Oracle;
 use crate::region::RegionMap;
 use crate::router::Router;
 use crate::routing::{RoutingAlgorithm, SelectCtx};
 use crate::source::TrafficSource;
 use crate::stats::SimStats;
 use crate::vc::{VcState, VcTag};
+use crate::verify::MAX_RECORDED_VIOLATIONS;
 
-/// A flit in flight on a link, delivered next cycle.
+/// A flit in flight on a link, delivered at cycle `arrive` (the next cycle,
+/// except under link-level retransmission delay — see `sa_phase`).
 #[derive(Debug)]
 pub(crate) struct InFlight {
     pub(crate) dst_router: usize,
     pub(crate) in_port: Port,
     pub(crate) vc: usize,
+    pub(crate) arrive: u64,
     pub(crate) flit: Flit,
 }
 
@@ -130,6 +137,12 @@ pub struct Network {
     /// Fault injection (differential harness): routers whose switch
     /// allocator is frozen. `None` in any un-mutated network.
     fault_frozen: Option<Box<[bool]>>,
+    /// Runtime fault-resilience state (link ARQ draw, dead topology,
+    /// degraded routing, drop ledger). `None` ⇔ the configured
+    /// [`FaultTimeline`](crate::fault::FaultTimeline) is empty, and then
+    /// every fault mechanism is off-path (digests match the fault-free
+    /// build).
+    fault: Option<Box<FaultState>>,
     // Reusable scratch (perf: avoid per-cycle allocation).
     va_scratch: Vec<VaReq>,
     sa_scratch: Vec<SaCand>,
@@ -222,6 +235,7 @@ impl Network {
             *dirty_mask.last_mut().unwrap() = (1u64 << (n % 64)) - 1;
         }
         let policy_idempotent = policy.update_is_idempotent();
+        let fault = (!cfg.fault.is_empty()).then(|| Box::new(FaultState::new(&cfg, num_apps)));
         Self {
             region,
             routing,
@@ -239,6 +253,7 @@ impl Network {
             analysis: None,
             oracle,
             fault_frozen: None,
+            fault,
             va_scratch: Vec::new(),
             sa_scratch: Vec::new(),
             active_mask: vec![0; n.div_ceil(64)],
@@ -344,6 +359,9 @@ impl Network {
 
     /// Advance one cycle.
     pub fn tick(&mut self) {
+        if self.fault.is_some() {
+            self.process_fault_events();
+        }
         self.deliver_phase();
         #[cfg(debug_assertions)]
         self.debug_verify_active_set();
@@ -359,6 +377,184 @@ impl Network {
             a.cycles += 1;
         }
         self.cycle += 1;
+    }
+
+    // ------------------------------------------------- fault resilience
+
+    /// Apply permanent faults due this cycle (reconfiguring the routing and
+    /// re-verifying it) and periodically sweep for stranded packets. Only
+    /// called when `fault` is `Some`.
+    fn process_fault_events(&mut self) {
+        let due = match self.fault.as_deref_mut() {
+            Some(fs) => fs.take_due_events(self.cycle),
+            None => return,
+        };
+        if !due.is_empty() {
+            if let Some(fs) = self.fault.as_deref_mut() {
+                for &ev in &due {
+                    fs.apply_event(&self.cfg, ev);
+                }
+            }
+            self.reconfigure();
+            for ev in due {
+                if let FaultEvent::RouterDown { router } = ev {
+                    self.kill_node(router as usize);
+                }
+            }
+        }
+        let has_dead = self.fault.as_deref().is_some_and(FaultState::has_dead);
+        if has_dead && self.cycle.is_multiple_of(STRANDED_SCAN_INTERVAL) {
+            self.sweep_stranded();
+        }
+    }
+
+    /// Rebuild and statically re-verify the degraded routing table after
+    /// the dead sets changed, reset every `Routed` (not yet `Active`) VC so
+    /// RC re-routes with the new table, and notify the oracle's checkers.
+    fn reconfigure(&mut self) {
+        self.stats.reconfigurations += 1;
+        let fs = self
+            .fault
+            .as_deref_mut()
+            .expect("reconfigure requires fault state");
+        let (table, report) = DegradedTable::rebuild(
+            &self.cfg,
+            &self.region,
+            self.routing.as_ref(),
+            &fs.dead_links,
+            &fs.dead_routers,
+        );
+        fs.table = Some(table);
+        if !report.ok() {
+            // Even Strict failed (the surviving topology is partitioned in a
+            // way no table fixes) — surface the witnesses, don't abort: the
+            // unroutable pairs are parked and dropped with accounting.
+            self.stats.verify_violation_count += report.violation_count;
+            for v in report.violations {
+                if self.stats.verify_violations.len() < MAX_RECORDED_VIOLATIONS {
+                    self.stats.verify_violations.push(v);
+                }
+            }
+        }
+        for r in &mut self.routers {
+            for vcs in &mut r.inputs {
+                for ivc in vcs {
+                    if matches!(ivc.state, VcState::Routed { .. }) {
+                        ivc.state = VcState::Idle;
+                    }
+                }
+            }
+        }
+        if let Some(mut o) = self.oracle.take() {
+            o.note_reconfigure(self);
+            self.oracle = Some(o);
+        }
+    }
+
+    /// A router died: drop its NI's queued work with accounting. The
+    /// in-progress injection (if any) is allowed to finish streaming so the
+    /// packet becomes fully resident and the stranded sweep extracts it
+    /// with coherent credit/flit accounting.
+    fn kill_node(&mut self, idx: usize) {
+        let dropped = self.nodes[idx].drop_backlog();
+        self.stats.packets_dropped += dropped as u64;
+    }
+
+    /// Extract fully-resident parked packets that can no longer be routed
+    /// (their VC state is not `Active`, the head is at the front and the
+    /// tail at the back). The buffer is cleared, per-flit credits are
+    /// returned upstream, the flits enter the drop ledger, and the packet
+    /// is either re-queued at its source NI (bounded retries, exponential
+    /// backoff) or dropped for good.
+    fn sweep_stranded(&mut self) {
+        let Some(fs) = self.fault.take() else { return };
+        let mut fs = fs;
+        let table = fs.table.as_ref();
+        let mut extracted: Vec<(usize, Port, usize)> = Vec::new();
+        for (r_idx, r) in self.routers.iter().enumerate() {
+            if r.occ_vcs == 0 {
+                continue;
+            }
+            for (port, vcs) in r.inputs.iter().enumerate() {
+                for (vc, ivc) in vcs.iter().enumerate() {
+                    if matches!(ivc.state, VcState::Active { .. }) {
+                        continue;
+                    }
+                    let (Some(front), Some(back)) = (ivc.buf.front(), ivc.buf.back()) else {
+                        continue;
+                    };
+                    if !front.kind.is_head() || !back.kind.is_tail() {
+                        continue; // not fully resident yet
+                    }
+                    let routable = !fs.dead_routers.contains(&r_idx)
+                        && table.is_none_or(|t| t.routable(r_idx, front.info.dst as usize));
+                    if !routable {
+                        extracted.push((r_idx, port, vc));
+                    }
+                }
+            }
+        }
+        for (r_idx, port, vc) in extracted {
+            let r = &mut self.routers[r_idx];
+            let ivc = &mut r.inputs[port][vc];
+            let info = ivc.buf.front().expect("checked above").info;
+            let flits = ivc.buf.len();
+            ivc.buf.clear();
+            ivc.state = VcState::Idle;
+            ivc.holder = None;
+            r.note_vc_freed(port, vc);
+            Self::mark_active(&mut self.dirty_mask, r_idx);
+            if r.occ_vcs == 0 {
+                Self::mark_inactive(&mut self.active_mask, r_idx);
+            }
+            if port != PORT_LOCAL {
+                let up = Self::neighbor(&self.cfg, r_idx, port);
+                for _ in 0..flits {
+                    self.credit_q.push((up, opposite(port), vc));
+                }
+            }
+            if let Some(o) = self.oracle.as_deref_mut() {
+                o.note_occupancy(r_idx as NodeId, port, vc, false, self.cycle);
+            }
+            fs.note_dropped_flits(info.app as usize, flits as u64);
+            let attempts = fs.bump_retry(info.id);
+            let retry_ok = attempts <= MAX_SOURCE_RETRIES
+                && !fs.dead_routers.contains(&(info.src as usize))
+                && fs
+                    .table
+                    .as_ref()
+                    .is_none_or(|t| t.routable(info.src as usize, info.dst as usize));
+            if retry_ok {
+                self.stats.packets_retried += 1;
+                let ready = self.cycle + (RETRY_BACKOFF_BASE << (attempts - 1));
+                self.nodes[info.src as usize].schedule_retry(ready, info);
+            } else {
+                self.stats.packets_dropped += 1;
+            }
+        }
+        self.fault = Some(fs);
+    }
+
+    /// Flits of `app` recorded in the drop ledger (0 without fault state) —
+    /// the conservation checkers' balance term.
+    pub(crate) fn dropped_flits_of(&self, app: usize) -> u64 {
+        self.fault
+            .as_deref()
+            .map_or(0, |f| f.dropped_flits.get(app).copied().unwrap_or(0))
+    }
+
+    /// Total flits in the drop ledger (0 without fault state).
+    pub(crate) fn dropped_flits_total(&self) -> u64 {
+        self.fault.as_deref().map_or(0, |f| f.dropped_flits_total)
+    }
+
+    /// The degraded routing mode in force, if a permanent fault has been
+    /// applied (`None` = pristine topology or no fault timeline).
+    pub fn degraded_mode(&self) -> Option<DegradedMode> {
+        self.fault
+            .as_deref()
+            .and_then(|f| f.table.as_ref())
+            .map(DegradedTable::mode)
     }
 
     /// Run the oracle's end-of-cycle checks (interval-gated unless
@@ -434,18 +630,52 @@ impl Network {
                 r.take_credit(port, vc);
                 true
             }
-            // Re-append a copy of the front flit: the buffer now carries a
-            // repeated sequence number (wormhole contiguity) and one more
-            // flit than was ever injected (flit conservation).
+            // Spurious replay-buffer fire: the upstream link sends a copy of
+            // the newest buffered body flit, *paying a real credit* for it.
+            // Credit conservation therefore stays clean while the repeated
+            // sequence number (wormhole contiguity) and the phantom flit
+            // (flit conservation) must be caught. Restricted to body flits
+            // with nothing in flight on the slot so the copy cannot land
+            // behind a tail or masquerade as a head (which would trip the
+            // kernel's atomic-VC debug assertions instead of a checker).
             Fault::DuplicateFlit { router, port, vc } => {
-                let ivc = &mut self.routers[router].inputs[port][vc];
-                let Some(&front) = ivc.buf.front() else {
-                    return false;
-                };
-                if ivc.buf.len() >= self.cfg.vc_depth {
+                if port == PORT_LOCAL {
                     return false;
                 }
-                ivc.buf.push_back(front);
+                let coord = self.routers[router].coord;
+                if !Self::port_in_bounds(&self.cfg, coord, port) {
+                    return false;
+                }
+                {
+                    let ivc = &self.routers[router].inputs[port][vc];
+                    let Some(back) = ivc.buf.back() else {
+                        return false;
+                    };
+                    if back.kind.is_head() || back.kind.is_tail() {
+                        return false;
+                    }
+                }
+                if self
+                    .in_flight
+                    .iter()
+                    .any(|a| a.dst_router == router && a.in_port == port && a.vc == vc)
+                {
+                    return false;
+                }
+                let up = Self::neighbor(&self.cfg, router, port);
+                let out_port = opposite(port);
+                if !self.routers[up].has_credit(out_port, vc) {
+                    return false;
+                }
+                self.routers[up].take_credit(out_port, vc);
+                let flit = *self.routers[router].inputs[port][vc].buf.back().unwrap();
+                self.in_flight.push(InFlight {
+                    dst_router: router,
+                    in_port: port,
+                    vc,
+                    arrive: self.cycle + 1,
+                    flit,
+                });
                 true
             }
             // Teleport a single-flit packet one unproductive hop, keeping
@@ -500,11 +730,23 @@ impl Network {
                     dst_router: nb,
                     in_port: opposite(out),
                     vc,
+                    arrive: self.cycle + 1,
                     flit,
                 });
                 if let Some(o) = self.oracle.as_deref_mut() {
                     o.note_occupancy(router as NodeId, port, vc, false, self.cycle);
                 }
+                true
+            }
+            // Flip a payload bit without updating the CRC: data corruption
+            // that escaped the link-level error control. Caught by the
+            // CRC-integrity scan.
+            Fault::CorruptFlit { router, port, vc } => {
+                let ivc = &mut self.routers[router].inputs[port][vc];
+                let Some(f) = ivc.buf.front_mut() else {
+                    return false;
+                };
+                f.payload ^= 1;
                 true
             }
             // Freeze the router's switch allocator: flits queue behind it
@@ -540,7 +782,12 @@ impl Network {
             || self.force_exhaustive
             || self.analysis.is_some()
             || !self.policy_idempotent
+            || self.fault.is_some()
         {
+            // An active fault timeline disables fast-forward outright:
+            // scheduled events, retransmission arrivals, sweeps and retry
+            // backoffs are all cycle-addressed side channels the idle proof
+            // does not cover.
             return None;
         }
         // Nothing buffered in any router, nothing in flight on links or in
@@ -653,7 +900,14 @@ impl Network {
             self.routers[r].return_credit(port, vc);
         }
         let arrivals = std::mem::take(&mut self.in_flight);
+        let delayed_possible = self.fault.is_some();
         for a in arrivals {
+            if delayed_possible && a.arrive > self.cycle {
+                // Still in the link-level retransmission loop: the flit
+                // (and its credit) stay accounted as in flight.
+                self.in_flight.push(a);
+                continue;
+            }
             let router = &mut self.routers[a.dst_router];
             let ivc = &mut router.inputs[a.in_port][a.vc];
             // Atomic VCs: exactly the head starts a new occupancy interval.
@@ -742,6 +996,7 @@ impl Network {
             analysis,
             oracle,
             fault_frozen,
+            fault,
             active_mask,
             active_scratch,
             dirty_mask,
@@ -857,10 +1112,33 @@ impl Network {
                     flit.hops += 1;
                     r.take_credit(win.out_port, win.out_vc);
                     let nb = Self::neighbor(cfg, r_idx, win.out_port);
+                    let in_port = opposite(win.out_port);
+                    let mut arrive = *cycle + 1;
+                    if let Some(fs) = fault.as_deref_mut() {
+                        if fs.corrupts() {
+                            // Link-level ARQ, resolved at send time: the
+                            // deterministic draw says how many CRC-failed
+                            // attempts precede the clean one; each failure
+                            // costs one nack/replay round trip. The flit
+                            // stays in `in_flight` (its credit held) for the
+                            // whole exchange, and a per-slot FIFO floor
+                            // keeps retransmitted flits from being overtaken
+                            // within their link slot.
+                            let k = fs.send_attempts(flit.info.id, flit.seq, r_idx, win.out_port);
+                            if k > 1 {
+                                stats.flits_retransmitted += u64::from(k - 1);
+                                arrive += u64::from(k - 1) * RETRANSMIT_LATENCY;
+                            }
+                            let slot = FaultState::slot(cfg, nb, in_port, win.out_vc);
+                            arrive = arrive.max(fs.last_arrival[slot] + 1);
+                            fs.last_arrival[slot] = arrive;
+                        }
+                    }
                     in_flight.push(InFlight {
                         dst_router: nb,
-                        in_port: opposite(win.out_port),
+                        in_port,
                         vc: win.out_vc,
+                        arrive,
                         flit,
                     });
                 }
@@ -1074,9 +1352,14 @@ impl Network {
             active_mask,
             active_scratch,
             force_exhaustive,
+            fault,
             ..
         } = self;
         let v = cfg.vcs_per_port();
+        // After a permanent fault, route from the verified degraded table;
+        // heads with no surviving path stay Idle (parked) until the
+        // stranded sweep extracts them.
+        let degraded = fault.as_deref().and_then(|f| f.table.as_ref());
         Self::fill_phase_set(
             active_scratch,
             active_mask,
@@ -1112,6 +1395,27 @@ impl Network {
                         "idle VC front flit must be a head (atomic VCs)"
                     );
                     let dst = cfg.coord_of(front.info.dst);
+                    if let Some(t) = degraded {
+                        let (s, d) = (r_u32 as usize, front.info.dst as usize);
+                        if !t.routable(s, d) {
+                            continue; // parked (dead router / severed pair)
+                        }
+                        ivc.state = if dst == cur {
+                            VcState::Routed {
+                                adaptive: [Some(PORT_LOCAL), None],
+                                escape: PORT_LOCAL,
+                            }
+                        } else {
+                            let Some(escape) = t.esc_at(s, d) else {
+                                continue;
+                            };
+                            VcState::Routed {
+                                adaptive: t.adap_at(s, d),
+                                escape,
+                            }
+                        };
+                        continue;
+                    }
                     ivc.state = if dst == cur {
                         VcState::Routed {
                             adaptive: [Some(PORT_LOCAL), None],
@@ -1143,10 +1447,13 @@ impl Network {
             oracle,
             active_mask,
             dirty_mask,
+            fault,
             ..
         } = self;
+        let degraded = fault.as_deref().and_then(|f| f.table.as_ref());
         for (i, (node, router)) in nodes.iter_mut().zip(routers.iter_mut()).enumerate() {
             node.release_replies(*cycle);
+            node.release_retries(*cycle);
             if let Some(np) = source.generate(node.id, *cycle, &mut node.rng) {
                 assert_ne!(np.dst, node.id, "source generated self-addressed packet");
                 assert!(
@@ -1155,20 +1462,29 @@ impl Network {
                     np.app
                 );
                 assert!(np.size >= 1 && np.size as usize <= cfg.vc_depth);
-                let info = PacketInfo {
-                    id: *next_pkt_id,
-                    src: node.id,
-                    dst: np.dst,
-                    app: np.app,
-                    class: np.class,
-                    size: np.size,
-                    birth: *cycle,
-                    inject: 0,
-                    reply: np.reply,
-                };
-                *next_pkt_id += 1;
-                stats.generated[np.app as usize] += 1;
-                node.enqueue(info);
+                if degraded.is_some_and(|t| !t.routable(i, np.dst as usize)) {
+                    // The destination (or this NI's own router) is
+                    // unreachable on the degraded topology: count the
+                    // generation but drop at the source — never injected,
+                    // so the flit ledger is untouched.
+                    stats.generated[np.app as usize] += 1;
+                    stats.packets_dropped += 1;
+                } else {
+                    let info = PacketInfo {
+                        id: *next_pkt_id,
+                        src: node.id,
+                        dst: np.dst,
+                        app: np.app,
+                        class: np.class,
+                        size: np.size,
+                        birth: *cycle,
+                        inject: 0,
+                        reply: np.reply,
+                    };
+                    *next_pkt_id += 1;
+                    stats.generated[np.app as usize] += 1;
+                    node.enqueue(info);
+                }
             }
             if let Some(ev) = node.try_inject(cfg, router, *cycle) {
                 stats.injected_flits += 1;

@@ -60,6 +60,10 @@ pub struct Node {
     class_rr: usize,
     vc_rr: usize,
     replies: BinaryHeap<Reverse<PendingReply>>,
+    /// Packets extracted as stranded, waiting out their retry backoff as
+    /// `(ready_cycle, packet)`. Kept unsorted (retries are rare); released
+    /// in deterministic `(ready, id)` order.
+    retries: Vec<(u64, PacketInfo)>,
     /// Per-node RNG: seeded from the run seed and the node id, so results
     /// are independent of node iteration order.
     pub rng: SmallRng,
@@ -74,6 +78,7 @@ impl Node {
             class_rr: 0,
             vc_rr: 0,
             replies: BinaryHeap::new(),
+            retries: Vec::new(),
             rng: SmallRng::seed_from_u64(
                 seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1)),
             ),
@@ -135,6 +140,52 @@ impl Node {
         n
     }
 
+    /// Schedule a source-side retry of an extracted stranded packet: the
+    /// packet (same id, original birth) re-enters the source queue at
+    /// `ready` and is injected afresh.
+    pub fn schedule_retry(&mut self, ready: u64, info: PacketInfo) {
+        self.retries.push((ready, info));
+    }
+
+    /// Move backoff-expired retries into the source queues. Returns the
+    /// number released.
+    pub fn release_retries(&mut self, cycle: u64) -> usize {
+        if self.retries.is_empty() {
+            return 0;
+        }
+        self.retries
+            .sort_unstable_by_key(|(ready, p)| (*ready, p.id));
+        let k = self.retries.partition_point(|(ready, _)| *ready <= cycle);
+        for (_, info) in self.retries.drain(..k) {
+            self.src_q[info.class as usize].push_back(info);
+        }
+        k
+    }
+
+    /// Retries still waiting out their backoff.
+    pub fn pending_retries(&self) -> usize {
+        self.retries.len()
+    }
+
+    /// Drop every queued packet (source queues, pending replies, pending
+    /// retries) — the NI's router died. Returns the number of packets
+    /// dropped; all were already counted as generated, and none of their
+    /// flits were injected, so only the packet drop counter moves. An
+    /// in-progress injection is deliberately left to finish streaming (the
+    /// stranded sweep extracts it with full accounting).
+    pub fn drop_backlog(&mut self) -> usize {
+        let mut n = 0;
+        for q in &mut self.src_q {
+            n += q.len();
+            q.clear();
+        }
+        n += self.replies.len();
+        self.replies.clear();
+        n += self.retries.len();
+        self.retries.clear();
+        n
+    }
+
     /// Packets waiting in the source queues (saturation/backlog signal).
     pub fn backlog(&self) -> usize {
         self.src_q
@@ -142,6 +193,7 @@ impl Node {
             .map(std::collections::VecDeque::len)
             .sum::<usize>()
             + usize::from(self.inject.is_some())
+            + self.retries.len()
     }
 
     /// Replies still being serviced.

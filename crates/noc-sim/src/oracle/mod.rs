@@ -17,12 +17,13 @@
 //! With the oracle disabled (`Network.oracle == None`) the per-cycle cost is
 //! a single pointer null-check.
 //!
-//! The [`Fault`] enum drives the differential harness: each variant is a
-//! seeded protocol mutation applied by
+//! The [`Fault`](crate::fault::Fault) enum drives the differential harness:
+//! each variant is a seeded protocol mutation applied by
 //! [`Network::inject_fault`](crate::network::Network::inject_fault) that at
 //! least one checker must catch.
 
 mod conservation;
+mod crc;
 mod credit;
 mod deadlock;
 mod policy;
@@ -30,6 +31,7 @@ mod routing_legal;
 mod wormhole;
 
 pub use conservation::FlitConservation;
+pub use crc::CrcIntegrity;
 pub use credit::CreditConservation;
 pub use deadlock::DeadlockWatch;
 pub use policy::PolicyInvariant;
@@ -198,6 +200,12 @@ pub trait Checker: Send {
 
     /// Whole-network scan after the state-update phase of a cycle.
     fn end_of_cycle(&mut self, _net: &Network, _out: &mut Vec<OracleViolation>) {}
+
+    /// The routing layer reconfigured around a permanent fault: checkers
+    /// relying on the pristine routing function (minimality, escape
+    /// dimension order) relax or re-derive their expectations here. The
+    /// new degraded table is already installed in `net`.
+    fn on_reconfigure(&mut self, _net: &Network) {}
 }
 
 /// The oracle: a set of checkers plus the violations they raised since the
@@ -222,7 +230,8 @@ impl Oracle {
                 Box::new(FlitConservation::new(num_apps)),
                 Box::new(CreditConservation::default()),
                 Box::new(WormholeContiguity),
-                Box::new(RoutingLegality),
+                Box::new(RoutingLegality::default()),
+                Box::new(CrcIntegrity),
                 Box::new(DeadlockWatch::new(cfg)),
                 Box::new(PolicyInvariant),
             ],
@@ -298,6 +307,12 @@ impl Oracle {
         }
     }
 
+    pub(crate) fn note_reconfigure(&mut self, net: &Network) {
+        for c in &mut self.checkers {
+            c.on_reconfigure(net);
+        }
+    }
+
     pub(crate) fn take_pending(&mut self) -> Vec<OracleViolation> {
         std::mem::take(&mut self.pending)
     }
@@ -317,38 +332,6 @@ impl Oracle {
     pub(crate) fn scans(&self) -> u64 {
         self.scans
     }
-}
-
-/// A seeded protocol fault for the differential harness. Applied between
-/// cycles by [`Network::inject_fault`](crate::network::Network::inject_fault);
-/// each variant must be caught by at least one checker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Fault {
-    /// Silently lose one credit of output `(port, vc)` at `router` —
-    /// caught by [`CreditConservation`].
-    DropCredit {
-        router: usize,
-        port: Port,
-        vc: usize,
-    },
-    /// Duplicate the front flit of input `(port, vc)` at `router` — caught
-    /// by [`WormholeContiguity`] (sequence break) and [`FlitConservation`].
-    DuplicateFlit {
-        router: usize,
-        port: Port,
-        vc: usize,
-    },
-    /// Teleport a single-flit packet one non-minimal hop out of input
-    /// `(port, vc)` at `router` (with correct credit accounting, so only
-    /// the route is wrong) — caught by [`RoutingLegality`].
-    MisrouteFlit {
-        router: usize,
-        port: Port,
-        vc: usize,
-    },
-    /// Permanently freeze `router`'s switch allocator — caught by
-    /// [`DeadlockWatch`] once a VC exceeds the stall horizon.
-    FreezeRouter { router: usize },
 }
 
 #[cfg(test)]

@@ -43,6 +43,20 @@ pub struct SimStats {
     pub oracle_violations: Vec<OracleViolation>,
     /// Total invariant violations detected (uncapped).
     pub oracle_violation_count: u64,
+    /// Link-level retransmissions performed (extra send attempts after a
+    /// CRC-detected transient corruption; cumulative). Digest-excluded:
+    /// with a given fault timeline the retransmission schedule is part of
+    /// the deterministic outcome already reflected in latencies.
+    pub flits_retransmitted: u64,
+    /// Packets extracted as stranded and re-injected at their source NI
+    /// after backoff (cumulative).
+    pub packets_retried: u64,
+    /// Packets dropped for good: undeliverable after the retry budget, or
+    /// generated toward an unreachable destination (cumulative).
+    pub packets_dropped: u64,
+    /// Routing reconfigurations performed (one per applied permanent-fault
+    /// batch, each including a CDG re-verification).
+    pub reconfigurations: u64,
     /// Violations found by the static configuration verifier at
     /// construction time, capped at
     /// [`crate::verify::MAX_RECORDED_VIOLATIONS`]. Empty when the verifier
@@ -67,6 +81,10 @@ impl SimStats {
             router_cycles_skipped: 0,
             state_updates_skipped: 0,
             idle_cycles_skipped: 0,
+            flits_retransmitted: 0,
+            packets_retried: 0,
+            packets_dropped: 0,
+            reconfigurations: 0,
             oracle_violations: Vec::new(),
             oracle_violation_count: 0,
             verify_violations: Vec::new(),
@@ -128,6 +146,10 @@ mod tests {
         s.router_cycles_skipped = 7;
         s.state_updates_skipped = 3;
         s.idle_cycles_skipped = 11;
+        s.flits_retransmitted = 4;
+        s.packets_retried = 2;
+        s.packets_dropped = 1;
+        s.reconfigurations = 1;
         s.recorder.record(0, 10, 12, 3, 1);
         s.reset_window(1000);
         assert_eq!(s.generated[0], 10);
@@ -135,6 +157,10 @@ mod tests {
         assert_eq!(s.router_cycles_skipped, 7);
         assert_eq!(s.state_updates_skipped, 3);
         assert_eq!(s.idle_cycles_skipped, 11);
+        assert_eq!(s.flits_retransmitted, 4);
+        assert_eq!(s.packets_retried, 2);
+        assert_eq!(s.packets_dropped, 1);
+        assert_eq!(s.reconfigurations, 1);
         assert_eq!(s.recorder.delivered(), 0);
         assert_eq!(s.measure_start, 1000);
     }
@@ -174,6 +200,15 @@ mod tests {
         other.router_cycles_skipped = 123;
         other.state_updates_skipped = 45;
         other.idle_cycles_skipped = 678;
+        assert_eq!(make().digest(), other.digest());
+        // Resilience counters are digest-excluded too: the digest contract
+        // covers traffic-visible outcome, and fault runs already diverge
+        // through the counters and recorder above.
+        let mut other = make();
+        other.flits_retransmitted = 9;
+        other.packets_retried = 2;
+        other.packets_dropped = 1;
+        other.reconfigurations = 3;
         assert_eq!(make().digest(), other.digest());
     }
 }

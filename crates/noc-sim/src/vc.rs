@@ -97,6 +97,8 @@ mod tests {
             kind: FlitKind::Single,
             seq: 0,
             hops: 0,
+            payload: 0,
+            crc: crate::flit::crc16(0),
             info: PacketInfo {
                 id: 0,
                 src: 0,

@@ -85,6 +85,13 @@ fn valid_hop(cfg: &SimConfig, cur: Coord, d: Coord, p: Port) -> bool {
         && step(cur, p).hops_to(d) + 1 == cur.hops_to(d)
 }
 
+/// Detour-escape relaxation: any in-bounds mesh port is a legal *escape*
+/// hop (fault detours are deliberately non-minimal); reachability is then
+/// proven by the escape-chain walk instead of hop-distance DP.
+fn valid_detour_hop(cfg: &SimConfig, cur: Coord, p: Port) -> bool {
+    (1..=4).contains(&p) && Network::port_in_bounds(cfg, cur, p)
+}
+
 pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
     let cfg = v.cfg;
     let n = cfg.num_nodes();
@@ -133,7 +140,12 @@ pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
             }
             if v.use_escape {
                 let e = hops.escape;
-                if !valid_hop(cfg, cur, d, e) {
+                let e_ok = if v.detour_escape {
+                    valid_detour_hop(cfg, cur, e)
+                } else {
+                    valid_hop(cfg, cur, d, e)
+                };
+                if !e_ok {
                     if bad_hops.insert((r, e)) {
                         vio.record(
                             "routing-function",

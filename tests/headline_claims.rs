@@ -17,6 +17,7 @@ fn ec() -> ExpConfig {
         measure: 12_000,
         seed: 0xFEED,
         quick: true,
+        cycle_budget: None,
     }
 }
 
@@ -153,6 +154,7 @@ fn fig17_shape_rair_protects_against_adversary() {
         measure: 30_000,
         seed: 0xFEED,
         quick: true,
+        cycle_budget: None,
     };
     let cfg = SimConfig::table1_req_reply();
     let region = RegionMap::quadrants(&cfg);
