@@ -1,0 +1,208 @@
+//! `repro bench-parallel` — sharded tick-engine scaling benchmark.
+//!
+//! Times the sharded parallel engine at shard counts 1/2/4/8 on a 16×16
+//! mesh (4× the Table 1 router count, where band parallelism has room to
+//! pay off) under identical replayed traffic, asserts every shard count
+//! produces the bit-identical [`SimStats::digest`], and writes the scaling
+//! trajectory to `BENCH_parallel.json`.
+//!
+//! Speedups are reported honestly against the measured 1-shard run *on
+//! this host*: the JSON records `host_parallelism` so a reader can tell a
+//! single-core container (where the coordinator/worker hand-off is pure
+//! overhead and speedup ≤ 1 is expected) from a real multi-core run.
+//!
+//! [`SimStats::digest`]: noc_sim::stats::SimStats::digest
+
+use crate::bench_kernel::NOMINAL_SAT;
+use crate::runner::ExpConfig;
+use crate::sweep::build_network;
+use metrics::Table;
+use noc_sim::config::SimConfig;
+use rair::scheme::{Routing, Scheme};
+use std::time::Instant;
+use traffic::scenario::two_app;
+use traffic::trace::{Trace, TraceReplay};
+
+/// Shard counts swept per cell; 1 is the scalar baseline.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (scheme, routing, load, shards) timing cell.
+#[derive(Debug, Clone)]
+pub struct ParRow {
+    pub scheme: String,
+    pub routing: &'static str,
+    /// Offered load as a percentage of [`NOMINAL_SAT`].
+    pub load_pct: u32,
+    /// Requested shard count.
+    pub shards: usize,
+    /// Simulated cycles (warmup + measurement).
+    pub cycles: u64,
+    /// Simulated cycles per wall second.
+    pub ticks_per_sec: f64,
+    /// `ticks_per_sec / (1-shard ticks_per_sec)` for the same cell.
+    pub speedup_vs_scalar: f64,
+    /// The (identical at every shard count) stats digest.
+    pub digest: u64,
+}
+
+/// Worker threads the host can actually run in parallel.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Run the scaling matrix on a 16×16 mesh. Panics if any shard count's
+/// digest diverges from the scalar baseline — the bench doubles as a
+/// determinism check on real workloads.
+pub fn run(ec: &ExpConfig) -> Vec<ParRow> {
+    let mut cfg = SimConfig::table1();
+    cfg.width = 16;
+    cfg.height = 16;
+    let cycles: u64 = if ec.quick { 4_000 } else { 20_000 };
+    let warmup = cycles / 5;
+    let measure = cycles - warmup;
+    let cells = [(Scheme::RoRr, Routing::Xy), (Scheme::rair(), Routing::Dbar)];
+    let mut rows = Vec::new();
+
+    for load_pct in [5u32, 30] {
+        let rate = NOMINAL_SAT * load_pct as f64 / 100.0;
+        let (region, scenario) = two_app(&cfg, 0.3, rate, rate);
+        // One trace per load point: every cell and shard count replays the
+        // identical offered traffic.
+        let trace = Trace::capture(scenario, cfg.num_nodes() as u16, cycles, ec.seed);
+        for (scheme, routing) in &cells {
+            let mut scalar_tps = 0.0;
+            let mut scalar_digest = 0;
+            for shards in SHARD_COUNTS {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.shards = shards;
+                let replay = TraceReplay::new(&trace, cfg.num_nodes() as u16);
+                let mut net = build_network(
+                    &shard_cfg,
+                    &region,
+                    scheme,
+                    *routing,
+                    Box::new(replay),
+                    ec.seed,
+                );
+                let t0 = Instant::now();
+                net.run_warmup_measure(warmup, measure);
+                let dt = t0.elapsed().as_secs_f64().max(1e-9);
+                let tps = cycles as f64 / dt;
+                let digest = net.stats.digest();
+                if shards == 1 {
+                    scalar_tps = tps;
+                    scalar_digest = digest;
+                } else {
+                    assert_eq!(
+                        digest,
+                        scalar_digest,
+                        "sharded digest diverged: {} / {} at {load_pct}% with {shards} shards",
+                        scheme.label(),
+                        routing.label(),
+                    );
+                }
+                rows.push(ParRow {
+                    scheme: scheme.label(),
+                    routing: routing.label(),
+                    load_pct,
+                    shards,
+                    cycles,
+                    ticks_per_sec: tps,
+                    speedup_vs_scalar: tps / scalar_tps,
+                    digest,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the matrix as a report table.
+pub fn table(rows: &[ParRow]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Sharded engine scaling — 16x16 mesh, digest-checked \
+             (host parallelism: {})",
+            host_parallelism()
+        ),
+        &[
+            "scheme", "routing", "load%", "shards", "cycles/s", "speedup", "digest",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            r.routing.to_string(),
+            r.load_pct.to_string(),
+            r.shards.to_string(),
+            format!("{:.0}", r.ticks_per_sec),
+            format!("{:.2}x", r.speedup_vs_scalar),
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    t
+}
+
+/// Serialize the rows as JSON (hand-rolled — the vendored serde is a stub).
+pub fn to_json(rows: &[ParRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        host_parallelism()
+    ));
+    out.push_str(&format!(
+        "  \"nominal_sat_flits_per_cycle_node\": {NOMINAL_SAT},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"routing\": \"{}\", \"load_pct\": {}, \
+             \"shards\": {}, \"cycles\": {}, \"ticks_per_sec\": {:.1}, \
+             \"speedup_vs_scalar\": {:.3}, \"digest\": \"{:016x}\"}}{}\n",
+            r.scheme,
+            r.routing,
+            r.load_pct,
+            r.shards,
+            r.cycles,
+            r.ticks_per_sec,
+            r.speedup_vs_scalar,
+            r.digest,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> ParRow {
+        ParRow {
+            scheme: "RAIR".into(),
+            routing: "DBAR",
+            load_pct: 30,
+            shards: 4,
+            cycles: 4000,
+            ticks_per_sec: 1234.5,
+            speedup_vs_scalar: 0.876,
+            digest: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = to_json(&[row()]);
+        assert!(j.contains("\"host_parallelism\""));
+        assert!(j.contains("\"shards\": 4"));
+        assert!(j.contains("\"speedup_vs_scalar\": 0.876"));
+        assert!(j.contains("\"digest\": \"000000000000feed\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn table_has_row_per_cell() {
+        assert_eq!(table(&vec![row(); 5]).num_rows(), 5);
+    }
+}

@@ -6,7 +6,7 @@
 //! ```
 //! where `<experiment>` is one of `table1`, `fig9`, `fig10`, `fig12`,
 //! `fig14`, `fig15`, `fig17`, `lbdr`, `oracle`, `bench-kernel`,
-//! `ablation-delta`, `ablation-vcsplit`, or `all`.
+//! `bench-parallel`, `ablation-delta`, `ablation-vcsplit`, or `all`.
 //!
 //! `--oracle` force-enables the invariant oracle for every simulation of
 //! the invocation (equivalent to `RAIR_ORACLE=1`); the `oracle` experiment
@@ -19,7 +19,7 @@ use metrics::Table;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--inject-cyclic] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
@@ -248,6 +248,18 @@ fn main() -> ExitCode {
                 eprintln!(
                     "[repro] wrote {} bench rows to BENCH_kernel.json",
                     rows.len()
+                );
+            }
+            "bench-parallel" => {
+                let rows = experiments::bench_parallel::run(&ec);
+                emit(&experiments::bench_parallel::table(&rows));
+                let json = experiments::bench_parallel::to_json(&rows);
+                std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+                eprintln!(
+                    "[repro] wrote {} scaling rows to BENCH_parallel.json \
+                     (host parallelism: {})",
+                    rows.len(),
+                    experiments::bench_parallel::host_parallelism()
                 );
             }
             "curve" => {

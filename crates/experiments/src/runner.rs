@@ -268,13 +268,37 @@ impl std::fmt::Display for JobError {
 /// results — runs are independent and deterministic — so the override is
 /// purely about machine sharing.
 fn worker_count_from(env_threads: Option<&str>, jobs: usize) -> usize {
-    env_threads
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .map_or_else(
-            || std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
-            |t| t.max(1),
-        )
-        .min(jobs)
+    let (count, warning) = resolve_worker_count(env_threads, jobs);
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    count
+}
+
+/// Pure core of [`worker_count_from`]: returns the worker count plus the
+/// stderr warning to emit when `RAIR_THREADS` is set but unparseable, so
+/// the warning path is unit-testable without capturing stderr. A silent
+/// fallback here cost a debugging session once — `RAIR_THREADS=all` ran a
+/// 1000-job sweep on every core of a shared box.
+fn resolve_worker_count(env_threads: Option<&str>, jobs: usize) -> (usize, Option<String>) {
+    let fallback = || std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let (count, warning) = match env_threads {
+        None => (fallback(), None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(t) => (t.max(1), None),
+            Err(_) => {
+                let f = fallback();
+                (
+                    f,
+                    Some(format!(
+                        "[sweep] warning: RAIR_THREADS={s:?} is not a thread count; \
+                         falling back to {f} workers (available parallelism)"
+                    )),
+                )
+            }
+        },
+    };
+    (count.min(jobs), warning)
 }
 
 /// Worker-pool core shared by the plain and checkpointed runners: execute
@@ -858,5 +882,29 @@ mod tests {
         let fallback = worker_count_from(Some("not-a-number"), 1000);
         assert!(fallback >= 1);
         assert_eq!(worker_count_from(None, 1), 1);
+    }
+
+    #[test]
+    fn unparseable_rair_threads_warns_with_value_and_fallback() {
+        // Garbage values surface a warning naming both the bad value and
+        // the worker count actually used...
+        let (count, warning) = resolve_worker_count(Some("not-a-number"), 1000);
+        let w = warning.expect("unparseable RAIR_THREADS must warn");
+        assert!(
+            w.contains("RAIR_THREADS"),
+            "warning names the variable: {w}"
+        );
+        assert!(
+            w.contains("not-a-number"),
+            "warning names the bad value: {w}"
+        );
+        assert!(
+            w.contains(&count.to_string()),
+            "warning names the fallback: {w}"
+        );
+        // ...while the valid, absent, and clamped paths stay silent.
+        assert_eq!(resolve_worker_count(Some("3"), 10), (3, None));
+        assert_eq!(resolve_worker_count(Some("0"), 10), (1, None));
+        assert!(resolve_worker_count(None, 8).1.is_none());
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod analysis;
 pub mod arbitration;
+pub mod bits;
 pub mod config;
 pub mod fault;
 pub mod flit;
@@ -50,6 +51,7 @@ pub mod oracle;
 pub mod region;
 pub mod router;
 pub mod routing;
+pub mod shard;
 pub mod source;
 pub mod stats;
 pub mod vc;

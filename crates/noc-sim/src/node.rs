@@ -7,8 +7,6 @@ use crate::flit::{Flit, PacketInfo};
 use crate::ids::{MsgClass, NodeId, PORT_LOCAL};
 use crate::router::Router;
 use crate::vc::VcState;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -64,13 +62,13 @@ pub struct Node {
     /// `(ready_cycle, packet)`. Kept unsorted (retries are rare); released
     /// in deterministic `(ready, id)` order.
     retries: Vec<(u64, PacketInfo)>,
-    /// Per-node RNG: seeded from the run seed and the node id, so results
-    /// are independent of node iteration order.
-    pub rng: SmallRng,
 }
 
 impl Node {
-    pub fn new(cfg: &SimConfig, id: NodeId, seed: u64) -> Self {
+    /// Create an empty NI. The per-node generation RNG lives in the
+    /// [`Network`](crate::network::Network) (coordinator-owned under the
+    /// sharded engine), not here — the NI itself is RNG-free.
+    pub fn new(cfg: &SimConfig, id: NodeId) -> Self {
         Self {
             id,
             src_q: (0..cfg.num_classes).map(|_| VecDeque::new()).collect(),
@@ -79,9 +77,6 @@ impl Node {
             vc_rr: 0,
             replies: BinaryHeap::new(),
             retries: Vec::new(),
-            rng: SmallRng::seed_from_u64(
-                seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1)),
-            ),
         }
     }
 
@@ -323,7 +318,7 @@ mod tests {
     #[test]
     fn injects_one_flit_per_cycle() {
         let c = cfg();
-        let mut node = Node::new(&c, 0, 42);
+        let mut node = Node::new(&c, 0);
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         node.enqueue(pkt(1, 0, 5));
         let mut injected = 0;
@@ -346,7 +341,7 @@ mod tests {
     #[test]
     fn injection_stalls_when_no_vc_free() {
         let c = cfg();
-        let mut node = Node::new(&c, 0, 42);
+        let mut node = Node::new(&c, 0);
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         // Occupy every local VC.
         for vc in 0..c.vcs_per_port() {
@@ -360,7 +355,7 @@ mod tests {
     #[test]
     fn adaptive_vcs_preferred_over_escape() {
         let c = cfg();
-        let mut node = Node::new(&c, 0, 42);
+        let mut node = Node::new(&c, 0);
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         node.enqueue(pkt(1, 0, 1));
         assert!(node.try_inject(&c, &mut router, 0).is_some());
@@ -371,7 +366,7 @@ mod tests {
     #[test]
     fn escape_used_as_fallback() {
         let c = cfg();
-        let mut node = Node::new(&c, 0, 42);
+        let mut node = Node::new(&c, 0);
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         for vc in c.adaptive_vc_range() {
             router.inputs[PORT_LOCAL][vc].holder = Some(9);
@@ -384,7 +379,7 @@ mod tests {
     #[test]
     fn replies_release_in_ready_order() {
         let c = cfg();
-        let mut node = Node::new(&c, 3, 42);
+        let mut node = Node::new(&c, 3);
         node.schedule_reply(20, 100, 7, 0, 0, 5);
         node.schedule_reply(10, 101, 8, 0, 0, 1);
         assert_eq!(node.release_replies(5), 0);
@@ -402,7 +397,7 @@ mod tests {
     #[test]
     fn class_queues_round_robin() {
         let c = SimConfig::table1_req_reply();
-        let mut node = Node::new(&c, 0, 1);
+        let mut node = Node::new(&c, 0);
         let mut router = Router::new(&c, 0, c.coord_of(0), 0);
         node.enqueue(pkt(1, 0, 1));
         node.enqueue(pkt(2, 1, 1));

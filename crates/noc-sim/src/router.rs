@@ -11,6 +11,7 @@
 //!   priority bit of §IV.C — maintained generically, consumed by the RAIR
 //!   policy.
 
+use crate::bits::low_bits;
 use crate::config::SimConfig;
 use crate::ids::{AppId, Coord, NodeId, Port, APP_NONE, NUM_PORTS, PORT_LOCAL};
 use crate::vc::{InputVc, VcState};
@@ -90,11 +91,9 @@ impl Router {
     /// Create an idle router with full credits.
     pub fn new(cfg: &SimConfig, id: NodeId, coord: Coord, app: AppId) -> Self {
         let v = cfg.vcs_per_port();
-        let valid = if NUM_PORTS * v >= 64 {
-            !0u64
-        } else {
-            (1u64 << (NUM_PORTS * v)) - 1
-        };
+        // `validate()` caps NUM_PORTS * vcs_per_port() at 64, so the checked
+        // helper is exact (the old `>= 64 ? !0` branch silently saturated).
+        let valid = low_bits(NUM_PORTS * v);
         Self {
             id,
             coord,
@@ -133,11 +132,7 @@ impl Router {
     /// Mask of all valid VC slots (low `NUM_PORTS * vcs` bits).
     #[inline]
     pub fn valid_vc_mask(&self) -> u64 {
-        if NUM_PORTS * self.vcs >= 64 {
-            !0u64
-        } else {
-            (1u64 << (NUM_PORTS * self.vcs)) - 1
-        }
+        low_bits(NUM_PORTS * self.vcs)
     }
 
     /// Record that input VC `(port, vc)` transitioned unoccupied → occupied.

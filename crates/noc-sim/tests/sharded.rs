@@ -1,0 +1,345 @@
+//! Bit-identity of the sharded parallel tick engine.
+//!
+//! The sharded engine is an execution strategy, not a model change: for any
+//! shard count the behavioral digest ([`SimStats::digest`]), the drain
+//! state, and the oracle scan count must match the scalar kernel exactly.
+//! These tests sweep shard counts over a scheme × routing matrix (scripted
+//! open-loop and closed-loop request/reply traffic), pin the word-boundary
+//! bitmask regressions at router counts 63/64/65 via non-square meshes, and
+//! check the scalar fallbacks (fault timeline, non-idempotent policy).
+
+use noc_sim::arbitration::{StcRankOnline, DEFAULT_RANK_INTERVAL};
+use noc_sim::network::Network;
+use noc_sim::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Routing {
+    Xy,
+    Local,
+    Dbar,
+}
+
+fn any_routing() -> impl Strategy<Value = Routing> {
+    prop_oneof![Just(Routing::Xy), Just(Routing::Local), Just(Routing::Dbar)]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Policy {
+    RoundRobin,
+    Age,
+}
+
+fn any_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![Just(Policy::RoundRobin), Just(Policy::Age)]
+}
+
+fn build_net(
+    cfg: &SimConfig,
+    events: Vec<(u64, NodeId, NewPacket)>,
+    routing: Routing,
+    policy: Policy,
+    shards: usize,
+    seed: u64,
+) -> Network {
+    let mut cfg = cfg.clone();
+    cfg.shards = shards;
+    let r: Box<dyn RoutingAlgorithm> = match routing {
+        Routing::Xy => Box::new(XyRouting),
+        Routing::Local => Box::new(DuatoLocalAdaptive),
+        Routing::Dbar => Box::new(DbarAdaptive),
+    };
+    let p: Box<dyn PriorityPolicy> = match policy {
+        Policy::RoundRobin => Box::new(RoundRobin),
+        Policy::Age => Box::new(AgeBased),
+    };
+    let region = RegionMap::single(&cfg);
+    Network::new(
+        cfg.clone(),
+        region,
+        r,
+        p,
+        Box::new(ScriptedSource::new(1, events)),
+        seed,
+    )
+}
+
+/// Run the same scripted workload at every shard count and collect the
+/// observables that must be bit-identical to the scalar baseline.
+fn digests_across_shards(
+    cfg: &SimConfig,
+    events: &[(u64, NodeId, NewPacket)],
+    routing: Routing,
+    policy: Policy,
+    seed: u64,
+    cycles: u64,
+    shard_counts: &[usize],
+) -> Vec<(u64, bool, u64, u64)> {
+    shard_counts
+        .iter()
+        .map(|&s| {
+            let mut net = build_net(cfg, events.to_vec(), routing, policy, s, seed);
+            net.run(cycles);
+            (
+                net.stats.digest(),
+                net.is_drained(),
+                net.oracle_scans(),
+                net.cycle(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic all-to-all-ish workload: every node sends one long and one
+/// short packet to a stride-offset peer, staggered over the warmup cycles.
+fn stride_events(cfg: &SimConfig, stride: usize) -> Vec<(u64, NodeId, NewPacket)> {
+    let n = cfg.num_nodes();
+    let mut events = Vec::new();
+    for i in 0..n {
+        let dst = ((i + stride) % n) as NodeId;
+        if dst == i as NodeId {
+            continue;
+        }
+        events.push((
+            (i as u64) % 7,
+            i as NodeId,
+            NewPacket {
+                dst,
+                app: 0,
+                class: 0,
+                size: cfg.long_flits,
+                reply: None,
+            },
+        ));
+        events.push((
+            3 + (i as u64) % 11,
+            i as NodeId,
+            NewPacket {
+                dst: ((i + 2 * stride + 1) % n) as NodeId,
+                app: 0,
+                class: 0,
+                size: cfg.short_flits,
+                reply: None,
+            },
+        ));
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Tentpole invariant: digests are bit-identical across
+    /// `shards ∈ {1, 2, 4, 8}` for random scripted traffic over the
+    /// routing × policy matrix, with the invariant oracle segmenting the
+    /// run every `check_interval` cycles in debug builds.
+    #[test]
+    fn digest_identical_across_shard_counts(
+        routing in any_routing(),
+        policy in any_policy(),
+        pairs in proptest::collection::vec((0u16..64, 0u16..64, 1u32..=5u32), 1..32),
+        seed in 0u64..64,
+    ) {
+        let cfg = SimConfig::table1();
+        let mut events = Vec::new();
+        for (i, &(src, dst, size)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            events.push((
+                (i as u64) * 2,
+                src,
+                NewPacket { dst, app: 0, class: 0, size, reply: None },
+            ));
+        }
+        prop_assume!(!events.is_empty());
+        let got =
+            digests_across_shards(&cfg, &events, routing, policy, seed, 3_000, &[1, 2, 4, 8]);
+        for (s, g) in [1usize, 2, 4, 8].iter().zip(&got) {
+            prop_assert_eq!(g, &got[0], "shards={} diverges from scalar", s);
+        }
+        prop_assert!(got[0].1, "scalar baseline failed to drain");
+    }
+
+    /// Closed-loop request/reply traffic (the L2/memory service model)
+    /// exercises the reply-schedule hand-off between the coordinator and
+    /// the shard workers; digests must still match at every shard count.
+    #[test]
+    fn closed_loop_replies_identical_across_shards(
+        routing in any_routing(),
+        pairs in proptest::collection::vec((0u16..64, 0u16..64), 1..16),
+        seed in 0u64..64,
+    ) {
+        let cfg = SimConfig::table1_req_reply();
+        let mut events = Vec::new();
+        for (i, &(src, dst)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            events.push((
+                (i as u64) * 3,
+                src,
+                NewPacket {
+                    dst,
+                    app: 0,
+                    class: 0,
+                    size: cfg.short_flits,
+                    reply: Some(ReplySpec {
+                        service_latency: cfg.l2_latency,
+                        size: cfg.long_flits,
+                        class: 1,
+                    }),
+                },
+            ));
+        }
+        prop_assume!(!events.is_empty());
+        let got = digests_across_shards(
+            &cfg, &events, routing, Policy::RoundRobin, seed, 4_000, &[1, 2, 4, 8],
+        );
+        for (s, g) in [1usize, 2, 4, 8].iter().zip(&got) {
+            prop_assert_eq!(g, &got[0], "shards={} diverges from scalar", s);
+        }
+        prop_assert!(got[0].1, "scalar baseline failed to drain");
+    }
+}
+
+/// Word-boundary regressions for the u64 activity bitmasks: router counts
+/// 63 (9×7), 64 (8×8, exactly one full word), and 65 (13×5, one bit into
+/// the second word) via non-square meshes, compared scalar vs 4 shards.
+/// Shard bands straddle the word boundary in each case.
+#[test]
+fn mask_word_boundaries_63_64_65() {
+    for (w, h) in [(9u8, 7u8), (8, 8), (13, 5)] {
+        let mut cfg = SimConfig::table1();
+        cfg.width = w;
+        cfg.height = h;
+        cfg.validate().expect("non-square config must validate");
+        let events = stride_events(&cfg, cfg.width as usize + 1);
+        for routing in [Routing::Xy, Routing::Local, Routing::Dbar] {
+            let got = digests_across_shards(
+                &cfg,
+                &events,
+                routing,
+                Policy::RoundRobin,
+                7,
+                3_000,
+                &[1, 2, 4, 8],
+            );
+            for (s, g) in [1usize, 2, 4, 8].iter().zip(&got) {
+                assert_eq!(
+                    g,
+                    &got[0],
+                    "{w}x{h} ({} routers) shards={s} diverges from scalar",
+                    cfg.num_nodes()
+                );
+            }
+            assert!(got[0].1, "{w}x{h} scalar baseline failed to drain");
+        }
+    }
+}
+
+/// `force_exhaustive` (the skip-elision audit mode) must compose with
+/// sharding: every router ticks every cycle in every worker, and the digest
+/// still matches the scalar exhaustive run.
+#[test]
+fn force_exhaustive_identical_across_shards() {
+    let cfg = SimConfig::table1();
+    let events = stride_events(&cfg, 9);
+    let run = |shards: usize| {
+        let mut net = build_net(&cfg, events.clone(), Routing::Dbar, Policy::Age, shards, 11);
+        net.set_force_exhaustive(true);
+        net.run(2_000);
+        (net.stats.digest(), net.is_drained(), net.oracle_scans())
+    };
+    let base = run(1);
+    for s in [2, 4, 8] {
+        assert_eq!(run(s), base, "exhaustive shards={s} diverges");
+    }
+    assert!(base.1, "exhaustive scalar baseline failed to drain");
+}
+
+/// A fault timeline threads per-cycle global state (link ARQ, reroute)
+/// through the whole mesh, so the engine must fall back to scalar: the
+/// digest with `shards = 4` equals the `shards = 1` run exactly.
+#[test]
+fn fault_timeline_forces_scalar_fallback() {
+    let mut cfg = SimConfig::table1();
+    cfg.fault.transient_ber = 1e-3;
+    cfg.fault.seed = 42;
+    let events = stride_events(&cfg, 5);
+    let run = |shards: usize| {
+        let mut net = build_net(
+            &cfg,
+            events.clone(),
+            Routing::Xy,
+            Policy::RoundRobin,
+            shards,
+            3,
+        );
+        assert_eq!(
+            net.effective_shards(),
+            1,
+            "fault timeline must force the scalar engine"
+        );
+        net.run(4_000);
+        (net.stats.digest(), net.is_drained())
+    };
+    assert_eq!(run(4), run(1));
+}
+
+/// A non-idempotent priority policy (here `StcRankOnline`, which samples
+/// occupancy across routers in visit order behind a lock) must also force
+/// the scalar fallback — concurrent workers would interleave its
+/// observations nondeterministically.
+#[test]
+fn non_idempotent_policy_forces_scalar_fallback() {
+    let cfg = SimConfig::table1();
+    let events = stride_events(&cfg, 3);
+    let run = |shards: usize| {
+        let mut cfg = cfg.clone();
+        cfg.shards = shards;
+        let mut net = Network::new(
+            cfg.clone(),
+            RegionMap::single(&cfg),
+            Box::new(XyRouting),
+            Box::new(StcRankOnline::new(1, 64, DEFAULT_RANK_INTERVAL)),
+            Box::new(ScriptedSource::new(1, events.clone())),
+            17,
+        );
+        assert_eq!(
+            net.effective_shards(),
+            1,
+            "non-idempotent policy must force the scalar engine"
+        );
+        net.run(3_000);
+        (net.stats.digest(), net.is_drained())
+    };
+    assert_eq!(run(8), run(1));
+}
+
+/// Shard counts clamp to the router count; absurd values still run and
+/// still match the scalar digest.
+#[test]
+fn shard_count_clamps_to_router_count() {
+    let cfg = SimConfig::table1();
+    let events = stride_events(&cfg, 13);
+    let net = build_net(
+        &cfg,
+        events.clone(),
+        Routing::Xy,
+        Policy::RoundRobin,
+        1_000,
+        5,
+    );
+    assert_eq!(net.effective_shards(), cfg.num_nodes());
+    let got = digests_across_shards(
+        &cfg,
+        &events,
+        Routing::Xy,
+        Policy::RoundRobin,
+        5,
+        2_000,
+        &[1, 1_000],
+    );
+    assert_eq!(got[1], got[0], "clamped shard count diverges from scalar");
+}

@@ -55,7 +55,13 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "os-entropy",
-        tokens: &["thread_rng", "ThreadRng", "OsRng", "from_entropy", "getrandom"],
+        tokens: &[
+            "thread_rng",
+            "ThreadRng",
+            "OsRng",
+            "from_entropy",
+            "getrandom",
+        ],
         why: "OS entropy breaks replay; seed a SmallRng from the run seed",
     },
     Rule {
@@ -65,8 +71,19 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "unordered-parallelism",
-        tokens: &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"],
-        why: "rayon interleaving is nondeterministic; reduce into per-job slots and merge in index order",
+        tokens: &[
+            "par_iter",
+            "par_iter_mut",
+            "into_par_iter",
+            "par_bridge",
+            "try_iter",
+            "try_recv",
+            "recv_timeout",
+            "is_finished",
+        ],
+        why: "rayon interleaving and racy channel drains (try_iter/try_recv/recv_timeout) or \
+              completion polling (is_finished) are nondeterministic; reduce into per-job slots, \
+              drain channels with blocking recv in a fixed order, and join in index order",
     },
 ];
 

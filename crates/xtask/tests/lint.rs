@@ -31,6 +31,22 @@ fn every_rule_fires_on_a_minimal_fixture() {
             "jobs.par_iter().map(run).collect()\n",
         ),
         ("unordered-parallelism", "v.into_par_iter().sum()\n"),
+        (
+            "unordered-parallelism",
+            "for msg in rx.try_iter() { merge(msg); }\n",
+        ),
+        (
+            "unordered-parallelism",
+            "while let Ok(m) = rx.try_recv() { apply(m); }\n",
+        ),
+        (
+            "unordered-parallelism",
+            "let m = rx.recv_timeout(Duration::from_millis(1));\n",
+        ),
+        (
+            "unordered-parallelism",
+            "if handle.is_finished() { results.push(handle.join()); }\n",
+        ),
     ];
     for (want, src) in cases {
         let f = lint(src);
