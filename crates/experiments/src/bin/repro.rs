@@ -19,6 +19,7 @@ use metrics::Table;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--inject-cyclic] \
+[--topology mesh|torus|ring|cmesh[:N]] \
 <table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut smoke = false;
     let mut inject_cyclic = false;
+    let mut topology = noc_sim::topology::TopologyKind::Mesh;
     let mut trace_file = String::from("/tmp/rair_trace.bin");
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -62,6 +64,18 @@ fn main() -> ExitCode {
                 std::env::set_var("RAIR_ORACLE", "1");
             }
             "--inject-cyclic" => inject_cyclic = true,
+            "--topology" => {
+                match args
+                    .next()
+                    .and_then(|s| noc_sim::topology::TopologyKind::parse(&s))
+                {
+                    Some(k) => topology = k,
+                    None => {
+                        eprintln!("--topology needs mesh|torus|ring|cmesh[:N]\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--trace-file" => match args.next() {
                 Some(p) => trace_file = p,
                 None => {
@@ -234,9 +248,9 @@ fn main() -> ExitCode {
             "trace-demo" => trace_demo(&ec, &trace_file, csv),
             "verify-config" => {
                 if inject_cyclic {
-                    return verify_config_negative();
+                    return verify_config_negative(topology);
                 }
-                if let Some(code) = verify_config_positive(&emit) {
+                if let Some(code) = verify_config_positive(topology, &emit) {
                     return code;
                 }
             }
@@ -296,17 +310,22 @@ fn main() -> ExitCode {
 }
 
 /// Run the static verifier over the full shipped scheme×routing×region
-/// matrix (plus LBDR-confined variants). Returns `Some(FAILURE)` when any
-/// configuration fails, printing the witnesses; `None` on success.
-fn verify_config_positive(emit: &impl Fn(&Table)) -> Option<ExitCode> {
+/// matrix (plus LBDR-confined variants) on the canonical config of the
+/// selected topology. Returns `Some(FAILURE)` when any configuration
+/// fails, printing the witnesses; `None` on success.
+fn verify_config_positive(
+    topology: noc_sim::topology::TopologyKind,
+    emit: &impl Fn(&Table),
+) -> Option<ExitCode> {
     use experiments::verify_config as vc;
-    let rows = vc::run_matrix();
+    let rows = vc::run_matrix_for(topology);
     emit(&vc::table(&rows));
     let json = vc::to_json(&rows);
     std::fs::write("VERIFY_report.json", &json).expect("write VERIFY_report.json");
     eprintln!(
-        "[repro] wrote {} verification rows to VERIFY_report.json",
-        rows.len()
+        "[repro] wrote {} verification rows ({} topology) to VERIFY_report.json",
+        rows.len(),
+        topology.label()
     );
     let mut failed = false;
     for r in &rows {
@@ -342,8 +361,13 @@ fn verify_config_positive(emit: &impl Fn(&Table)) -> Option<ExitCode> {
 /// must be rejected with a concrete witness. Always exits nonzero (the
 /// configurations are invalid); prints `NOT REJECTED` if the verifier
 /// missed one, which the CLI tests treat as a verifier bug.
-fn verify_config_negative() -> ExitCode {
-    let cases = experiments::verify_config::negative_battery();
+fn verify_config_negative(topology: noc_sim::topology::TopologyKind) -> ExitCode {
+    let mut cases = experiments::verify_config::negative_battery();
+    if topology.wraps() {
+        // No dateline lane switch on a wrapping topology → the verifier
+        // must extract the wrap cycle.
+        cases.push(experiments::verify_config::torus_no_dateline_case());
+    }
     for c in &cases {
         if c.rejected {
             println!("[{}] rejected with witness: {}", c.name, c.witness);

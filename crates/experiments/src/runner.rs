@@ -182,7 +182,7 @@ pub fn run_one(label: impl Into<String>, mut net: Network, cfg: &ExpConfig) -> R
         delivered: rec.delivered(),
         throughput: net.stats.throughput(net.cycle(), net.cfg.num_nodes()),
         cycles: net.cycle(),
-        routers: net.cfg.num_nodes(),
+        routers: net.cfg.num_routers(),
         router_cycles_skipped: net.stats.router_cycles_skipped,
         state_updates_skipped: net.stats.state_updates_skipped,
         idle_cycles_skipped: net.stats.idle_cycles_skipped,

@@ -15,6 +15,7 @@ use noc_sim::config::SimConfig;
 use noc_sim::ids::{Coord, Port, PORT_EAST, PORT_WEST};
 use noc_sim::region::RegionMap;
 use noc_sim::routing::{escape_port, NextHops, RoutingAlgorithm, SelectCtx};
+use noc_sim::topology::TopologyKind;
 use noc_sim::verify::{Verifier, VerifyReport, Witness};
 use rair::scheme::{Routing, Scheme};
 use std::time::Instant;
@@ -33,14 +34,32 @@ pub struct VerifyRow {
     pub first_witness: Option<String>,
 }
 
-/// The shipped region maps (Table 1 mesh).
+/// The four shipped region maps for a topology's canonical config. Every
+/// rectangular region spans at most half of each wrapping dimension, so
+/// minimal paths between same-region routers never leave the rectangle —
+/// LBDR confinement stays satisfiable on the torus and ring.
 fn regions(cfg: &SimConfig) -> Vec<(&'static str, RegionMap)> {
-    vec![
-        ("single", RegionMap::single(cfg)),
-        ("halves", RegionMap::halves(cfg)),
-        ("quadrants", RegionMap::quadrants(cfg)),
-        ("six", RegionMap::six_regions(cfg)),
-    ]
+    match cfg.topology {
+        // 8×8 grids reuse the paper's exact layouts (Figs. 8/11/13).
+        TopologyKind::Mesh | TopologyKind::Torus => vec![
+            ("single", RegionMap::single(cfg)),
+            ("halves", RegionMap::halves(cfg)),
+            ("quadrants", RegionMap::quadrants(cfg)),
+            ("six", RegionMap::six_regions(cfg)),
+        ],
+        TopologyKind::Ring => vec![
+            ("single", RegionMap::single(cfg)),
+            ("halves", RegionMap::halves(cfg)),
+            ("quarters", RegionMap::grid(cfg, 4, 1)),
+            ("eighths", RegionMap::grid(cfg, 8, 1)),
+        ],
+        TopologyKind::CMesh { .. } => vec![
+            ("single", RegionMap::single(cfg)),
+            ("halves", RegionMap::halves(cfg)),
+            ("quadrants", RegionMap::quadrants(cfg)),
+            ("columns", RegionMap::grid(cfg, cfg.width, 1)),
+        ],
+    }
 }
 
 /// The shipped schemes with representative parameters, each paired with
@@ -62,9 +81,15 @@ fn schemes() -> Vec<(Scheme, usize)> {
 const ROUTINGS: [Routing; 3] = [Routing::Xy, Routing::Local, Routing::Dbar];
 
 /// Run the positive matrix: every shipped region × routing, bare and
-/// LBDR-confined.
+/// LBDR-confined, on the Table 1 mesh.
 pub fn run_matrix() -> Vec<VerifyRow> {
-    let cfg = SimConfig::table1();
+    run_matrix_for(TopologyKind::Mesh)
+}
+
+/// Run the 4-region × 3-routing × {bare, LBDR} matrix on the canonical
+/// config of `kind` ([`SimConfig::table1_topology`]).
+pub fn run_matrix_for(kind: TopologyKind) -> Vec<VerifyRow> {
+    let cfg = SimConfig::table1_topology(kind);
     let mut rows = Vec::new();
     for (rname, region) in regions(&cfg) {
         for routing in ROUTINGS {
@@ -202,18 +227,57 @@ impl RoutingAlgorithm for MixedDorEscape {
     fn name(&self) -> &'static str {
         "MixedDOR"
     }
-    fn adaptive_ports(&self, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
+    fn adaptive_ports(&self, _cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
         [Some(Self::esc(cur, dst)), None]
     }
     fn select(&self, _ctx: &SelectCtx<'_>, _cands: &[Port]) -> usize {
         0
     }
-    fn next_hops(&self, cur: Coord, dst: Coord) -> NextHops {
+    fn next_hops(&self, _cfg: &SimConfig, cur: Coord, dst: Coord) -> NextHops {
         NextHops {
             adaptive: [None, None],
             escape: Self::esc(cur, dst),
+            escape_lane: 0,
         }
     }
+}
+
+/// A torus/ring "escape" that follows the correct minimal dimension-order
+/// port but pins every packet to dateline lane 0: the wrap link closes the
+/// lane-0 channel ring, a textbook cyclic escape CDG on any wrapping
+/// topology. Only the verifier ever sees it — it exists to prove the CDG
+/// pass extracts the wrap cycle when the dateline lane switch is missing.
+pub struct NoDatelineEscape;
+
+impl RoutingAlgorithm for NoDatelineEscape {
+    fn name(&self) -> &'static str {
+        "NoDateline"
+    }
+    fn adaptive_ports(&self, _cfg: &SimConfig, _cur: Coord, _dst: Coord) -> [Option<Port>; 2] {
+        [None, None]
+    }
+    fn select(&self, _ctx: &SelectCtx<'_>, _cands: &[Port]) -> usize {
+        0
+    }
+    fn next_hops(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> NextHops {
+        let (escape, _lane) = noc_sim::topology::escape_hop(cfg, cur, dst);
+        NextHops {
+            adaptive: [None, None],
+            escape,
+            escape_lane: 0,
+        }
+    }
+}
+
+/// The torus negative case behind `verify-config --topology torus
+/// --inject-cyclic`: without the dateline lane switch the verifier must
+/// reject the escape network with a concrete wrap-cycle witness.
+pub fn torus_no_dateline_case() -> NegativeCase {
+    let cfg = SimConfig::table1_topology(TopologyKind::Torus);
+    let r = Verifier::new(&cfg, &NoDatelineEscape).run();
+    case("torus-no-dateline-escape", &r, |w| {
+        matches!(w, Witness::Cycle(_))
+    })
 }
 
 /// Run the injected-fault battery. Every case must come back `rejected`
@@ -304,6 +368,37 @@ mod tests {
         for (label, errs) in scheme_checks() {
             assert!(errs.is_empty(), "{label}: {errs:?}");
         }
+    }
+
+    #[test]
+    fn per_topology_matrices_are_clean() {
+        for kind in [
+            TopologyKind::Torus,
+            TopologyKind::Ring,
+            TopologyKind::CMesh { concentration: 4 },
+        ] {
+            let rows = run_matrix_for(kind);
+            assert_eq!(rows.len(), 4 * 3 * 2, "{}", kind.label());
+            for r in &rows {
+                assert_eq!(
+                    r.violations,
+                    0,
+                    "{} {}/{} (lbdr {}): {:?}",
+                    kind.label(),
+                    r.region,
+                    r.routing,
+                    r.lbdr,
+                    r.first_witness
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_without_datelines_is_rejected() {
+        let c = torus_no_dateline_case();
+        assert!(c.rejected, "no-dateline torus escape was not rejected");
+        assert!(!c.witness.is_empty());
     }
 
     #[test]

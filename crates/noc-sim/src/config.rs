@@ -3,6 +3,7 @@
 use crate::fault::FaultTimeline;
 use crate::ids::{Coord, MsgClass, NodeId, NUM_PORTS};
 use crate::oracle::OracleConfig;
+use crate::topology::TopologyKind;
 use crate::vc::{VcClass, VcTag};
 use crate::verify::VerifyConfig;
 use serde::{Deserialize, Serialize};
@@ -15,9 +16,13 @@ use serde::{Deserialize, Serialize};
 /// short packets (16 B control) or 5-flit long packets (head + 64 B data).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
-    /// Mesh width (columns).
+    /// Network topology (mesh, torus, ring, concentrated mesh). The
+    /// default mesh keeps every pre-topology digest and cache key
+    /// unchanged (see [`SimConfig::digest_into`]).
+    pub topology: TopologyKind,
+    /// Router-grid width (columns).
     pub width: u8,
-    /// Mesh height (rows).
+    /// Router-grid height (rows; must be 1 for a ring).
     pub height: u8,
     /// Number of message classes (virtual networks). Each class gets one
     /// escape VC per port (deadlock freedom per Duato's theory); all classes
@@ -69,6 +74,7 @@ impl SimConfig {
     /// the synthetic-traffic experiments).
     pub fn table1() -> Self {
         Self {
+            topology: TopologyKind::Mesh,
             width: 8,
             height: 8,
             num_classes: 1,
@@ -111,32 +117,79 @@ impl SimConfig {
         }
     }
 
-    /// Number of nodes in the mesh.
+    /// The canonical Table-1-scale configuration for each topology: the
+    /// 8×8 mesh itself, an 8×8 torus, a 16-router ring and a 4×4
+    /// concentrated mesh with 4 NIs per router (64 nodes, like the mesh).
+    /// Used by the cross-topology golden digests and `--topology` CLI.
+    pub fn table1_topology(kind: TopologyKind) -> Self {
+        let (width, height) = match kind {
+            TopologyKind::Mesh | TopologyKind::Torus => (8, 8),
+            TopologyKind::Ring => (16, 1),
+            TopologyKind::CMesh { .. } => (4, 4),
+        };
+        Self {
+            topology: kind,
+            width,
+            height,
+            ..Self::table1()
+        }
+    }
+
+    /// Number of routers in the network (`width × height`).
     #[inline]
-    pub fn num_nodes(&self) -> usize {
+    pub fn num_routers(&self) -> usize {
         self.width as usize * self.height as usize
     }
 
-    /// Total VCs per port: one escape VC per message class + adaptive VCs.
+    /// Nodes (NIs) per router — 1 except on a concentrated mesh.
+    #[inline]
+    pub fn concentration(&self) -> usize {
+        self.topology.concentration()
+    }
+
+    /// Number of nodes: `concentration ×` routers. Equals
+    /// [`Self::num_routers`] on every topology but the concentrated mesh.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_routers() * self.concentration()
+    }
+
+    /// Escape lanes per message class (2 on wrapping topologies — the
+    /// dateline VCs — 1 otherwise; see [`crate::topology`]).
+    #[inline]
+    pub fn escape_lanes(&self) -> usize {
+        self.topology.escape_lanes()
+    }
+
+    /// Number of escape VCs per port (`num_classes × escape_lanes`).
+    #[inline]
+    pub fn num_escape_vcs(&self) -> usize {
+        self.num_classes * self.escape_lanes()
+    }
+
+    /// Total VCs per port: the per-class escape VCs (one per escape
+    /// lane) + adaptive VCs.
     #[inline]
     pub fn vcs_per_port(&self) -> usize {
-        self.num_classes + self.adaptive_vcs
+        self.num_escape_vcs() + self.adaptive_vcs
     }
 
     /// Classify VC index `vc` within a port.
     ///
-    /// Layout: indices `0..num_classes` are the per-class escape VCs
-    /// (running dimension-order routing); the remaining indices are adaptive
-    /// VCs, the first `regional_vcs` of which carry the *regional* tag and
-    /// the rest the *global* tag (the 1-bit field of §IV.A).
+    /// Layout: indices `0..num_classes × escape_lanes` are the per-class
+    /// escape VCs (lane-major within a class, running dimension-order
+    /// routing); the remaining indices are adaptive VCs, the first
+    /// `regional_vcs` of which carry the *regional* tag and the rest the
+    /// *global* tag (the 1-bit field of §IV.A).
     #[inline]
     pub fn vc_class(&self, vc: usize) -> VcClass {
-        if vc < self.num_classes {
+        let esc = self.num_escape_vcs();
+        if vc < esc {
             VcClass::Escape {
-                class: vc as MsgClass,
+                class: (vc / self.escape_lanes()) as MsgClass,
             }
         } else {
-            let a = vc - self.num_classes;
+            let a = vc - esc;
             VcClass::Adaptive {
                 tag: if a < self.regional_vcs {
                     VcTag::Regional
@@ -147,44 +200,106 @@ impl SimConfig {
         }
     }
 
-    /// Index of the escape VC for message class `class`.
+    /// Index of the lane-0 escape VC for message class `class` (the only
+    /// escape VC of the class on non-wrapping topologies).
     #[inline]
     pub fn escape_vc(&self, class: MsgClass) -> usize {
+        self.escape_vc_lane(class, 0)
+    }
+
+    /// Index of the escape VC for message class `class`, lane `lane`.
+    #[inline]
+    pub fn escape_vc_lane(&self, class: MsgClass, lane: u8) -> usize {
         debug_assert!((class as usize) < self.num_classes);
-        class as usize
+        debug_assert!((lane as usize) < self.escape_lanes());
+        class as usize * self.escape_lanes() + lane as usize
     }
 
     /// Iterator over the adaptive VC indices.
     pub fn adaptive_vc_range(&self) -> std::ops::Range<usize> {
-        self.num_classes..self.vcs_per_port()
+        self.num_escape_vcs()..self.vcs_per_port()
     }
 
-    /// Node id of coordinate `c` (row-major).
+    /// Router index of the router at coordinate `c` (row-major).
     #[inline]
-    pub fn node_at(&self, c: Coord) -> NodeId {
-        c.y as NodeId * self.width as NodeId + c.x as NodeId
+    pub fn router_at(&self, c: Coord) -> usize {
+        c.y as usize * self.width as usize + c.x as usize
     }
 
-    /// Coordinate of node `id`.
+    /// Coordinate of router `r` (row-major).
     #[inline]
-    pub fn coord_of(&self, id: NodeId) -> Coord {
+    pub fn router_coord(&self, r: usize) -> Coord {
         Coord {
-            x: (id % self.width as NodeId) as u8,
-            y: (id / self.width as NodeId) as u8,
+            x: (r % self.width as usize) as u8,
+            y: (r / self.width as usize) as u8,
         }
     }
 
-    /// The four corner node ids (the memory-controller tiles of §V.E).
+    /// Router index owning node `id` (`id / concentration`).
+    #[inline]
+    pub fn router_of(&self, id: NodeId) -> usize {
+        id as usize / self.concentration()
+    }
+
+    /// The *base node* of the router at coordinate `c`: on a
+    /// concentrated mesh the first of its `concentration` nodes,
+    /// elsewhere simply the node co-located with the router.
+    #[inline]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        (self.router_at(c) * self.concentration()) as NodeId
+    }
+
+    /// Coordinate of the router hosting node `id`.
+    #[inline]
+    pub fn coord_of(&self, id: NodeId) -> Coord {
+        self.router_coord(self.router_of(id))
+    }
+
+    /// The four corner node ids (the memory-controller tiles of §V.E) —
+    /// base nodes of the corner routers.
     pub fn corners(&self) -> [NodeId; 4] {
-        let w = self.width as NodeId;
-        let h = self.height as NodeId;
-        [0, w - 1, (h - 1) * w, h * w - 1]
+        let (w, h) = (self.width, self.height);
+        [
+            self.node_at(Coord { x: 0, y: 0 }),
+            self.node_at(Coord { x: w - 1, y: 0 }),
+            self.node_at(Coord { x: 0, y: h - 1 }),
+            self.node_at(Coord { x: w - 1, y: h - 1 }),
+        ]
     }
 
     /// Validate internal consistency; called by `Network::new`.
     pub fn validate(&self) -> Result<(), String> {
-        if self.width < 2 || self.height < 2 {
-            return Err("mesh must be at least 2x2".into());
+        match self.topology {
+            TopologyKind::Mesh | TopologyKind::CMesh { .. } => {
+                if self.width < 2 || self.height < 2 {
+                    return Err("mesh must be at least 2x2".into());
+                }
+            }
+            TopologyKind::Torus => {
+                // A 2-wide torus dimension degenerates (wrap and direct
+                // links coincide), which breaks the dateline argument.
+                if self.width < 3 || self.height < 3 {
+                    return Err("torus must be at least 3x3".into());
+                }
+            }
+            TopologyKind::Ring => {
+                if self.height != 1 {
+                    return Err("ring topology requires height 1".into());
+                }
+                if self.width < 3 {
+                    return Err("ring needs at least 3 routers".into());
+                }
+            }
+        }
+        if let TopologyKind::CMesh { concentration } = self.topology {
+            if !(2..=8).contains(&concentration) {
+                return Err("cmesh concentration must be 2..=8".into());
+            }
+        }
+        if !self.fault.is_empty() && self.topology != TopologyKind::Mesh {
+            // The detour escape function's turn-model proof is
+            // mesh-specific (see crate::topology docs).
+            return Err("fault timelines are only supported on the mesh topology".into());
         }
         if self.num_classes == 0 || self.num_classes > 4 {
             return Err("num_classes must be 1..=4".into());
@@ -220,7 +335,12 @@ impl SimConfig {
     /// (documentation only) and `oracle`/`verify` (observability, not
     /// behaviour). The fault timeline is folded in only when non-empty, so
     /// pre-fault digests (golden files, cache keys) are unchanged.
+    /// Likewise the topology is folded in only when it is not the
+    /// default mesh, so mesh digests predating the topology field hold.
     pub fn digest_into(&self, d: &mut metrics::Digest) {
+        if self.topology != TopologyKind::Mesh {
+            self.topology.digest_into(d);
+        }
         d.write_u64(self.width as u64);
         d.write_u64(self.height as u64);
         d.write_u64(self.num_classes as u64);
@@ -328,5 +448,91 @@ mod tests {
         let mut c = SimConfig::table1();
         c.width = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn topology_validation() {
+        let mut c = SimConfig::table1();
+        c.topology = TopologyKind::Ring;
+        assert!(c.validate().is_err(), "ring needs height 1");
+        c.height = 1;
+        c.width = 16;
+        assert!(c.validate().is_ok());
+        c.width = 2;
+        assert!(c.validate().is_err(), "2-router ring rejected");
+
+        let mut c = SimConfig::table1();
+        c.topology = TopologyKind::Torus;
+        assert!(c.validate().is_ok());
+        c.width = 2;
+        assert!(c.validate().is_err(), "2-wide torus rejected");
+
+        let mut c = SimConfig::table1();
+        c.topology = TopologyKind::CMesh { concentration: 4 };
+        assert!(c.validate().is_ok());
+        c.topology = TopologyKind::CMesh { concentration: 1 };
+        assert!(c.validate().is_err());
+
+        // Fault timelines stay mesh-only.
+        let mut c = SimConfig::table1();
+        c.topology = TopologyKind::Torus;
+        c.fault.transient_ber = 1e-3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn torus_vc_layout_has_two_escape_lanes() {
+        let mut c = SimConfig::table1_req_reply();
+        c.topology = TopologyKind::Torus;
+        assert_eq!(c.escape_lanes(), 2);
+        assert_eq!(c.num_escape_vcs(), 4);
+        assert_eq!(c.vcs_per_port(), 8);
+        assert_eq!(c.vc_class(0), VcClass::Escape { class: 0 });
+        assert_eq!(c.vc_class(1), VcClass::Escape { class: 0 });
+        assert_eq!(c.vc_class(2), VcClass::Escape { class: 1 });
+        assert_eq!(c.vc_class(3), VcClass::Escape { class: 1 });
+        assert_eq!(
+            c.vc_class(4),
+            VcClass::Adaptive {
+                tag: VcTag::Regional
+            }
+        );
+        assert_eq!(c.escape_vc_lane(1, 1), 3);
+        assert_eq!(c.escape_vc(1), 2);
+        assert_eq!(c.adaptive_vc_range(), 4..8);
+    }
+
+    #[test]
+    fn cmesh_node_router_split() {
+        let mut c = SimConfig::table1();
+        c.topology = TopologyKind::CMesh { concentration: 4 };
+        c.width = 4;
+        c.height = 4;
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_routers(), 16);
+        assert_eq!(c.num_nodes(), 64);
+        assert_eq!(c.router_of(7), 1);
+        assert_eq!(c.coord_of(7), Coord { x: 1, y: 0 });
+        assert_eq!(c.corners(), [0, 12, 48, 60]);
+    }
+
+    #[test]
+    fn only_non_mesh_topology_changes_digest() {
+        let digest = |c: &SimConfig| {
+            let mut d = metrics::Digest::new();
+            c.digest_into(&mut d);
+            d.finish()
+        };
+        let base = SimConfig::table1();
+        let mut explicit = SimConfig::table1();
+        explicit.topology = TopologyKind::Mesh;
+        assert_eq!(digest(&base), digest(&explicit));
+        let mut torus = SimConfig::table1();
+        torus.topology = TopologyKind::Torus;
+        assert_ne!(digest(&base), digest(&torus));
+        let mut ring = SimConfig::table1();
+        ring.topology = TopologyKind::Ring;
+        ring.height = 1;
+        assert_ne!(digest(&torus), digest(&ring));
     }
 }

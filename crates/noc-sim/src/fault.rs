@@ -342,7 +342,7 @@ impl DegradedTable {
                     }
                     let cs = cfg.coord_of(s as NodeId);
                     let mut k = 0;
-                    for p in routing.adaptive_ports(cs, cd).into_iter().flatten() {
+                    for p in routing.adaptive_ports(cfg, cs, cd).into_iter().flatten() {
                         if !link_alive(cfg, dead_links, cs, p) {
                             continue;
                         }
@@ -401,11 +401,8 @@ impl RoutingAlgorithm for DegradedRouting<'_> {
         "degraded"
     }
 
-    fn adaptive_ports(&self, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
-        let (s, d) = (
-            self.cfg.node_at(cur) as usize,
-            self.cfg.node_at(dst) as usize,
-        );
+    fn adaptive_ports(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
+        let (s, d) = (cfg.node_at(cur) as usize, cfg.node_at(dst) as usize);
         self.table.adap_at(s, d)
     }
 
@@ -413,7 +410,7 @@ impl RoutingAlgorithm for DegradedRouting<'_> {
         0
     }
 
-    fn next_hops(&self, cur: Coord, dst: Coord) -> NextHops {
+    fn next_hops(&self, _cfg: &SimConfig, cur: Coord, dst: Coord) -> NextHops {
         let (s, d) = (
             self.cfg.node_at(cur) as usize,
             self.cfg.node_at(dst) as usize,
@@ -424,6 +421,8 @@ impl RoutingAlgorithm for DegradedRouting<'_> {
             // escape chain exists; PORT_LOCAL would be flagged as a bad
             // hop by the verifier if this invariant were ever broken.
             escape: self.table.esc_at(s, d).unwrap_or(PORT_LOCAL),
+            // Fault timelines are mesh-only (validated), so no datelines.
+            escape_lane: 0,
         }
     }
 }

@@ -54,6 +54,7 @@ pub mod routing;
 pub mod shard;
 pub mod source;
 pub mod stats;
+pub mod topology;
 pub mod vc;
 pub mod verify;
 
@@ -74,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::source::{NewPacket, NoTraffic, ScriptedSource, TrafficSource};
     pub use crate::stats::SimStats;
+    pub use crate::topology::{Topology, TopologyKind};
     pub use crate::vc::{VcClass, VcTag};
     pub use crate::verify::{Verifier, VerifyConfig, VerifyReport, VerifyViolation, Witness};
     pub use metrics::LatencyKind;

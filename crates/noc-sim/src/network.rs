@@ -257,7 +257,7 @@ pub struct Network {
     pub(crate) in_flight: Vec<InFlight>,
     pub(crate) eject_q: Vec<(usize, Flit)>,
     pub(crate) credit_q: Vec<(usize, Port, usize)>,
-    /// Previous-cycle adaptive occupancy per node (congestion view).
+    /// Previous-cycle adaptive occupancy per router (congestion view).
     pub(crate) congestion: Vec<u16>,
     /// Per-node traffic RNG streams, drawn from in node-id order by the
     /// injection phase (owned by the network, not the NIs, so the sharded
@@ -326,23 +326,32 @@ impl Network {
         assert_eq!(
             region.len(),
             cfg.num_nodes(),
-            "region map size must match mesh"
+            "region map size must match topology"
         );
         assert!(
             region.num_apps() <= source.num_apps(),
             "source must define at least as many apps as the region map"
         );
-        let n = cfg.num_nodes();
+        let n = cfg.num_routers();
         let routers = (0..n)
             .map(|i| {
-                let id = i as NodeId;
-                Router::new(&cfg, id, cfg.coord_of(id), region.app_of(id))
+                // A router's native app is its base node's (concentrated
+                // nodes at one router share a coordinate, hence a region).
+                let base_node = (i * cfg.concentration()) as NodeId;
+                Router::new(
+                    &cfg,
+                    i as NodeId,
+                    cfg.router_coord(i),
+                    region.app_of(base_node),
+                )
             })
             .collect();
-        let nodes = (0..n).map(|i| Node::new(&cfg, i as NodeId)).collect();
+        let nodes = (0..cfg.num_nodes())
+            .map(|i| Node::new(&cfg, i as NodeId))
+            .collect();
         // One deterministic traffic RNG stream per node, keyed by node id
         // (splitmix-style odd multiplier decorrelates the per-node seeds).
-        let rngs = (0..n)
+        let rngs = (0..cfg.num_nodes())
             .map(|i| {
                 SmallRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1)))
             })
@@ -377,7 +386,9 @@ impl Network {
             stats.verify_violation_count = count;
         }
         // Routers are constructed dirty (occ_dirty = true) so the first
-        // state update always runs; mirror that in the dirty mask.
+        // state update always runs; mirror that in the dirty mask. The last
+        // word's construction goes through `low_bits` (not a raw shift) so
+        // word-boundary router counts (64, 128, …) cannot overflow.
         let mut dirty_mask = vec![!0u64; n.div_ceil(64)];
         if !n.is_multiple_of(64) {
             *dirty_mask.last_mut().unwrap() = low_bits(n % 64);
@@ -495,22 +506,20 @@ impl Network {
         self.cycle
     }
 
-    /// Does mesh port `p` of the router at `c` lead to an in-bounds
-    /// neighbor (i.e. is it a physical link, not a mesh edge)?
+    /// Does port `p` of the router at `c` lead to a physical neighbor on
+    /// the configured topology (for the mesh: is it not a mesh edge)?
     #[inline]
     pub(crate) fn port_in_bounds(cfg: &SimConfig, c: Coord, p: Port) -> bool {
-        match p {
-            PORT_NORTH => c.y > 0,
-            PORT_SOUTH => (c.y as usize) < cfg.height as usize - 1,
-            PORT_EAST => (c.x as usize) < cfg.width as usize - 1,
-            PORT_WEST => c.x > 0,
-            _ => false,
-        }
+        crate::topology::has_link(cfg, c, p)
     }
 
-    /// Mesh-neighbor router index through output port `p`.
+    /// Neighbor router index through output port `p` (wrap-aware on
+    /// torus/ring; plain index arithmetic on the non-wrapping grids).
     #[inline]
     pub(crate) fn neighbor(cfg: &SimConfig, idx: usize, p: Port) -> usize {
+        if cfg.topology.wraps() {
+            return crate::topology::neighbor_router(cfg, idx, p);
+        }
         let w = cfg.width as usize;
         match p {
             PORT_NORTH => idx - w,
@@ -1332,7 +1341,9 @@ impl Network {
                     }
                 }
                 if win.out_port == PORT_LOCAL {
-                    out.eject.push((r_idx, flit));
+                    // Keyed by destination *node* (== router index except
+                    // under concentration, where several NIs share a router).
+                    out.eject.push((flit.info.dst as usize, flit));
                 } else {
                     flit.hops += 1;
                     r.take_credit(win.out_port, win.out_vc);
@@ -1488,7 +1499,12 @@ impl Network {
                     let in_vc = pb.trailing_zeros() as usize;
                     pb &= pb - 1;
                     let ivc = &r.inputs[in_port][in_vc];
-                    let VcState::Routed { adaptive, escape } = ivc.state else {
+                    let VcState::Routed {
+                        adaptive,
+                        escape,
+                        escape_lane,
+                    } = ivc.state
+                    else {
                         continue;
                     };
                     let head = ivc.buf.front().expect("routed VC holds its head flit");
@@ -1496,7 +1512,17 @@ impl Network {
                     let info = head.info;
                     let req = arb_req(r, &info);
                     let request = Self::va_in_select(
-                        cfg, region, routing, policy, congestion, r, &info, &req, adaptive, escape,
+                        cfg,
+                        region,
+                        routing,
+                        policy,
+                        congestion,
+                        r,
+                        &info,
+                        &req,
+                        adaptive,
+                        escape,
+                        escape_lane,
                     );
                     if let Some((out_port, out_vc)) = request {
                         let prio =
@@ -1572,8 +1598,8 @@ impl Network {
 
     /// VA_in: pick the (output port, output VC) a routed input VC requests
     /// this cycle. Adaptive candidates first (routing selection function +
-    /// the policy's VC-tag preference); escape VC as fallback; `None` when
-    /// nothing is allocatable.
+    /// the policy's VC-tag preference); the escape VC of the packet's
+    /// dateline lane as fallback; `None` when nothing is allocatable.
     #[allow(clippy::too_many_arguments)]
     fn va_in_select(
         cfg: &SimConfig,
@@ -1586,6 +1612,7 @@ impl Network {
         req: &ArbReq,
         adaptive: [Option<Port>; 2],
         escape: Port,
+        escape_lane: u8,
     ) -> Option<(Port, usize)> {
         let v = cfg.vcs_per_port();
         // Ejection at the destination: any free local "output VC". The
@@ -1599,7 +1626,7 @@ impl Network {
         // Allocatable = no holder AND downstream fully drained — one mask op
         // per candidate port instead of a scan over the adaptive range.
         let alloc = r.allocatable_mask();
-        let adaptive_mask = low_bits(cfg.adaptive_vcs) << cfg.num_classes;
+        let adaptive_mask = low_bits(cfg.adaptive_vcs) << cfg.num_escape_vcs();
         let mut cands: [Port; 2] = [0; 2];
         let mut n = 0;
         for p in adaptive.into_iter().flatten() {
@@ -1624,10 +1651,10 @@ impl Network {
                 // after the escape block, global the remainder (see
                 // SimConfig::vc_class), so each tag is one contiguous mask.
                 let tag_mask = match tag {
-                    VcTag::Regional => low_bits(cfg.regional_vcs) << cfg.num_classes,
+                    VcTag::Regional => low_bits(cfg.regional_vcs) << cfg.num_escape_vcs(),
                     VcTag::Global => {
                         low_bits(cfg.adaptive_vcs - cfg.regional_vcs)
-                            << (cfg.num_classes + cfg.regional_vcs)
+                            << (cfg.num_escape_vcs() + cfg.regional_vcs)
                     }
                 };
                 let m = pa & tag_mask;
@@ -1637,8 +1664,10 @@ impl Network {
             }
             return Some((p, pa.trailing_zeros() as usize));
         }
-        // Escape fallback (guarantees forward progress per Duato).
-        let esc = cfg.escape_vc(info.class);
+        // Escape fallback (guarantees forward progress per Duato); on
+        // wrapping topologies the requestable escape VC is pinned to the
+        // packet's dateline lane.
+        let esc = cfg.escape_vc_lane(info.class, escape_lane);
         (alloc & r.vc_bit(escape, esc) != 0).then_some((escape, esc))
     }
 
@@ -1698,6 +1727,7 @@ impl Network {
                             VcState::Routed {
                                 adaptive: [Some(PORT_LOCAL), None],
                                 escape: PORT_LOCAL,
+                                escape_lane: 0,
                             }
                         } else {
                             let Some(escape) = t.esc_at(s, d) else {
@@ -1706,6 +1736,7 @@ impl Network {
                             VcState::Routed {
                                 adaptive: t.adap_at(s, d),
                                 escape,
+                                escape_lane: 0,
                             }
                         };
                         continue;
@@ -1714,11 +1745,16 @@ impl Network {
                         VcState::Routed {
                             adaptive: [Some(PORT_LOCAL), None],
                             escape: PORT_LOCAL,
+                            escape_lane: 0,
                         }
                     } else {
+                        // The kernel legalizes exactly what the static
+                        // verifier enumerated: the algorithm's next_hops.
+                        let hops = routing.next_hops(cfg, cur, dst);
                         VcState::Routed {
-                            adaptive: routing.adaptive_ports(cur, dst),
-                            escape: crate::routing::escape_port(cur, dst),
+                            adaptive: hops.adaptive,
+                            escape: hops.escape,
+                            escape_lane: hops.escape_lane,
                         }
                     };
                 }
@@ -1808,9 +1844,10 @@ impl Network {
     }
 
     /// Injection over a contiguous band of NIs and their routers, starting
-    /// at global node index `base`. `enqueues` holds this cycle's freshly
-    /// generated packets for this band, `(global node index, packet)`
-    /// ascending (from [`Network::generate_packets`]).
+    /// at global *router* index `base` (the band's nodes are the routers'
+    /// concentrated NIs, node indices `base*c..`). `enqueues` holds this
+    /// cycle's freshly generated packets for this band, `(global node
+    /// index, packet)` ascending (from [`Network::generate_packets`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn inject_band(
         cfg: &SimConfig,
@@ -1822,12 +1859,16 @@ impl Network {
         mut analysis: Option<&mut AnalysisState>,
         out: &mut PhaseOut,
     ) {
+        let c = cfg.concentration();
+        debug_assert_eq!(nodes.len(), routers.len() * c);
+        let node_base = base * c;
         let mut e = 0usize;
-        while e < enqueues.len() && (enqueues[e].0 as usize) < base {
+        while e < enqueues.len() && (enqueues[e].0 as usize) < node_base {
             e += 1;
         }
-        for (local, (node, router)) in nodes.iter_mut().zip(routers.iter_mut()).enumerate() {
-            let i = base + local;
+        for (local, node) in nodes.iter_mut().enumerate() {
+            let i = node_base + local;
+            let router = &mut routers[local / c];
             node.release_replies(cycle);
             node.release_retries(cycle);
             while e < enqueues.len() && enqueues[e].0 as usize == i {
@@ -1839,13 +1880,13 @@ impl Network {
                 out.note(OracleNote::Inject { app: ev.app });
                 if ev.head {
                     out.note(OracleNote::Occupancy {
-                        router: node.id,
+                        router: router.id,
                         port: PORT_LOCAL,
                         vc: ev.vc,
                         occupied: true,
                     });
                     // try_inject bumped the router's occupancy counters.
-                    out.dirtied.push(i as u32);
+                    out.dirtied.push((base + local / c) as u32);
                     out.injected_packets[ev.app as usize] += 1;
                     if let Some(a) = analysis.as_deref_mut() {
                         if a.watch == Some(ev.packet_id) {
@@ -2022,7 +2063,7 @@ impl Network {
     /// Enable run-time analysis instrumentation (link counts, occupancy
     /// breakdown, packet tracing). Counters start from zero.
     pub fn enable_analysis(&mut self) {
-        self.analysis = Some(AnalysisState::new(self.cfg.num_nodes()));
+        self.analysis = Some(AnalysisState::new(self.cfg.num_routers()));
     }
 
     /// Trace one packet id's journey (requires analysis to be enabled).
@@ -2038,8 +2079,8 @@ impl Network {
         self.analysis.as_ref()
     }
 
-    /// Per-node adaptive-VC occupancy snapshot (previous cycle) — the same
-    /// congestion view adaptive routing reads; useful for heatmaps and
+    /// Per-router adaptive-VC occupancy snapshot (previous cycle) — the
+    /// same congestion view adaptive routing reads; useful for heatmaps and
     /// congestion analysis.
     pub fn congestion_snapshot(&self) -> &[u16] {
         &self.congestion

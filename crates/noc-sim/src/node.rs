@@ -210,22 +210,26 @@ impl Node {
 
     /// Find an injectable local input VC for a packet of `class`: idle,
     /// empty, unheld. Adaptive VCs are preferred (rotating among them for
-    /// fairness); the class's escape VC is the fallback.
+    /// fairness); the class's escape VC(s) are the fallback (any lane works
+    /// at the injection port — the dateline lane only constrains the
+    /// *output* VC a routed head may request).
     fn pick_vc(&mut self, cfg: &SimConfig, router: &Router, class: MsgClass) -> Option<usize> {
         let usable = |vc: usize| {
             let ivc = &router.inputs[PORT_LOCAL][vc];
             ivc.state == VcState::Idle && ivc.buf.is_empty() && ivc.holder.is_none()
         };
         let n_adaptive = cfg.adaptive_vcs;
+        let base = cfg.num_escape_vcs();
         for k in 0..n_adaptive {
-            let vc = cfg.num_classes + (self.vc_rr + k) % n_adaptive;
+            let vc = base + (self.vc_rr + k) % n_adaptive;
             if usable(vc) {
                 self.vc_rr = (self.vc_rr + k + 1) % n_adaptive;
                 return Some(vc);
             }
         }
-        let esc = cfg.escape_vc(class);
-        usable(esc).then_some(esc)
+        (0..cfg.escape_lanes())
+            .map(|lane| cfg.escape_vc_lane(class, lane as u8))
+            .find(|&esc| usable(esc))
     }
 
     /// Inject up to one flit into the router's local input port. Starts a

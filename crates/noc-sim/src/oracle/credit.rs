@@ -32,7 +32,7 @@ impl Checker for CreditConservation {
     fn end_of_cycle(&mut self, net: &Network, out: &mut Vec<OracleViolation>) {
         let cfg = &net.cfg;
         let v = cfg.vcs_per_port();
-        let slots = cfg.num_nodes() * NUM_PORTS * v;
+        let slots = cfg.num_routers() * NUM_PORTS * v;
         let idx = |router: usize, port: Port, vc: usize| (router * NUM_PORTS + port) * v + vc;
         self.in_flight.clear();
         self.in_flight.resize(slots, 0);

@@ -39,7 +39,7 @@ impl DeadlockWatch {
         Self {
             horizon: cfg.oracle.stall_horizon,
             vcs_per_port: cfg.vcs_per_port(),
-            since: vec![UNOCCUPIED; cfg.num_nodes() * NUM_PORTS * cfg.vcs_per_port()],
+            since: vec![UNOCCUPIED; cfg.num_routers() * NUM_PORTS * cfg.vcs_per_port()],
             reported_progress: None,
         }
     }

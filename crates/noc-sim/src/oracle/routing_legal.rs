@@ -1,23 +1,24 @@
 //! Per-hop routing legality: every link traversal is minimal, and escape
-//! VCs only ever carry dimension-order (Duato-legal) hops.
+//! VCs only ever carry dimension-order (Duato-legal) hops on the correct
+//! dateline lane.
 
 use super::{Checker, OracleViolation};
 use crate::config::SimConfig;
 use crate::flit::Flit;
 use crate::ids::{opposite, NodeId, Port, PORT_LOCAL};
-use crate::routing::{escape_port, step};
+use crate::topology;
 
 /// Checked at the arrival hook (the only place a hop's direction is still
-/// known): the upstream router is `step(here, in_port)`, and the hop it sent
-/// the flit over is `opposite(in_port)`.
+/// known): the upstream router is `step(here, in_port)` (wrap-aware), and
+/// the hop it sent the flit over is `opposite(in_port)`.
 ///
-/// * **Minimality** (all VCs): the hop must reduce the Manhattan distance to
-///   the destination by exactly one — both the adaptive routing functions
-///   and the escape path are minimal in this design.
-/// * **Duato legality** (escape VCs, index `< num_classes`): the hop must be
-///   exactly the dimension-order hop the escape sub-network prescribes at
-///   the upstream router, or the escape network's deadlock-freedom argument
-///   collapses.
+/// * **Minimality** (all VCs): the hop must reduce the topology's distance
+///   to the destination by exactly one — both the adaptive routing
+///   functions and the escape path are minimal in this design.
+/// * **Duato legality** (escape VCs, index `< num_escape_vcs`): the hop
+///   must be exactly the dimension-order (port, dateline-lane) pair the
+///   escape sub-network prescribes at the upstream router, or the escape
+///   network's deadlock-freedom argument collapses.
 ///
 /// After a permanent-fault reconfiguration (`on_reconfigure`) both checks
 /// stand down: the degraded routing takes deliberate non-minimal detours
@@ -53,10 +54,10 @@ impl Checker for RoutingLegality {
             return; // injections are not link traversals; degraded routing
                     // is verified statically at reconfiguration instead
         }
-        let here = cfg.coord_of(router);
-        let upstream = step(here, in_port);
+        let here = cfg.router_coord(router as usize);
+        let upstream = topology::step(cfg, here, in_port);
         let dst = cfg.coord_of(flit.info.dst);
-        if upstream.hops_to(dst) != here.hops_to(dst) + 1 {
+        if topology::distance(cfg, upstream, dst) != topology::distance(cfg, here, dst) + 1 {
             out.push(OracleViolation {
                 cycle,
                 checker: self.name(),
@@ -67,16 +68,20 @@ impl Checker for RoutingLegality {
                 ),
             });
         }
-        if vc < cfg.num_classes && escape_port(upstream, dst) != opposite(in_port) {
-            out.push(OracleViolation {
-                cycle,
-                checker: self.name(),
-                router: Some(router),
-                detail: format!(
-                    "packet {} to {:?} entered escape VC {vc} over a non-DOR hop {:?} -> {:?}",
-                    flit.info.id, dst, upstream, here
-                ),
-            });
+        if vc < cfg.num_escape_vcs() {
+            let lane = (vc % cfg.escape_lanes()) as u8;
+            if topology::escape_hop(cfg, upstream, dst) != (opposite(in_port), lane) {
+                out.push(OracleViolation {
+                    cycle,
+                    checker: self.name(),
+                    router: Some(router),
+                    detail: format!(
+                        "packet {} to {:?} entered escape VC {vc} over a non-DOR hop \
+                         {:?} -> {:?} (expected lane {lane})",
+                        flit.info.id, dst, upstream, here
+                    ),
+                });
+            }
         }
     }
 }

@@ -391,6 +391,39 @@ mod tests {
     }
 
     #[test]
+    fn max_radix_vc_bitmaps_stay_in_word_bounds() {
+        // The densest legal VC layout: a 4-class torus (8 escape lanes per
+        // port) plus 4 adaptive VCs → 12 VCs/port, 60 of the 64 u64 slots
+        // used. Every bitset must come from `low_bits` (no `1 << 64`-class
+        // overflow) and the top unused bits must stay clear.
+        let c = SimConfig {
+            topology: crate::topology::TopologyKind::Torus,
+            num_classes: 4,
+            adaptive_vcs: 4,
+            regional_vcs: 2,
+            ..SimConfig::table1()
+        };
+        c.validate().expect("densest layout must validate");
+        assert_eq!(c.vcs_per_port(), 12);
+        assert_eq!(NUM_PORTS * c.vcs_per_port(), 60);
+        let r = Router::new(&c, 0, c.coord_of(0), 0);
+        assert_eq!(r.valid_vc_mask(), crate::bits::low_bits(60));
+        assert_eq!(r.valid_vc_mask().count_ones(), 60);
+        assert_eq!(r.out_free, r.valid_vc_mask());
+        assert_eq!(r.credits_full, r.valid_vc_mask());
+        // The highest valid slot is bit 59; its single-bit mask is exact.
+        assert_eq!(r.vc_bit(NUM_PORTS - 1, c.vcs_per_port() - 1), 1u64 << 59);
+
+        // One more adaptive VC would need 65 slots — validate must reject
+        // it rather than let a mask construction overflow at runtime.
+        let over = SimConfig {
+            adaptive_vcs: 5,
+            ..c
+        };
+        assert!(over.validate().is_err());
+    }
+
+    #[test]
     fn fresh_router_full_credits_and_idle() {
         let r = mk();
         let c = cfg();

@@ -1,6 +1,7 @@
 //! Local-information adaptive routing (Duato escape + free-VC selection).
 
-use super::{free_adaptive_credits, productive_ports, RoutingAlgorithm, SelectCtx};
+use super::{free_adaptive_credits, RoutingAlgorithm, SelectCtx};
+use crate::config::SimConfig;
 use crate::ids::{Coord, Port};
 
 /// The "typical adaptive routing algorithm that uses the information
@@ -15,8 +16,8 @@ impl RoutingAlgorithm for DuatoLocalAdaptive {
         "Local"
     }
 
-    fn adaptive_ports(&self, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
-        productive_ports(cur, dst)
+    fn adaptive_ports(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
+        crate::topology::productive_ports(cfg, cur, dst)
     }
 
     fn select(&self, ctx: &SelectCtx<'_>, cands: &[Port]) -> usize {

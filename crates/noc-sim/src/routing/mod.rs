@@ -1,15 +1,20 @@
 //! Routing algorithms.
 //!
-//! All algorithms are *minimal* in a 2-D mesh and deadlock-free per Duato's
-//! theory: packets may adaptively use any productive direction on the
-//! adaptive VCs, and can always fall back to the escape VC that runs
-//! dimension-order (XY) routing — an acyclic sub-network.
+//! All algorithms are *minimal* and deadlock-free per Duato's theory:
+//! packets may adaptively use any productive direction on the adaptive
+//! VCs, and can always fall back to the escape VCs that run
+//! dimension-order routing — an acyclic sub-network on every supported
+//! topology (with dateline escape lanes on torus/ring; see
+//! [`crate::topology`]).
 //!
 //! The pieces:
 //! * [`RoutingAlgorithm::adaptive_ports`] — the productive output ports a
-//!   packet may take adaptively (route computation, RC stage).
-//! * [`escape_port`] — the XY dimension-order port (shared by all
-//!   algorithms; it is the escape path).
+//!   packet may take adaptively (route computation, RC stage), from
+//!   [`crate::topology::productive_ports`].
+//! * [`crate::topology::escape_hop`] — the dimension-order escape port
+//!   and lane (shared by all algorithms; it is the escape path).
+//!   [`escape_port`] remains as the mesh-specific XY function the fault
+//!   subsystem's detour logic builds on.
 //! * [`RoutingAlgorithm::select`] — the selection function choosing among
 //!   candidate ports; this is where local-adaptive and DBAR differ, and
 //!   where DBAR's region-aware truncation of congestion information lives.
@@ -38,8 +43,8 @@ pub struct SelectCtx<'a> {
     /// Region layout (DBAR truncates congestion info at region boundaries).
     pub region: &'a RegionMap,
     /// Previous-cycle adaptive-VC occupancy of every router, indexed by
-    /// node id — the idealized stand-in for DBAR's dedicated congestion
-    /// wiring (one-cycle-old global view).
+    /// router index — the idealized stand-in for DBAR's dedicated
+    /// congestion wiring (one-cycle-old global view).
     pub congestion: &'a [u16],
 }
 
@@ -49,9 +54,10 @@ pub trait RoutingAlgorithm: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Productive output ports usable on adaptive VCs, up to one per
-    /// dimension. Must be minimal (every returned port reduces distance).
+    /// dimension. Must be minimal under the topology's distance (every
+    /// returned port reduces [`crate::topology::distance`]).
     /// `cur != dst` is guaranteed by the caller.
-    fn adaptive_ports(&self, cur: Coord, dst: Coord) -> [Option<Port>; 2];
+    fn adaptive_ports(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2];
 
     /// Choose among `cands` (a non-empty subset of the adaptive ports, each
     /// known to have an allocatable adaptive VC). Returns an index into
@@ -64,12 +70,15 @@ pub trait RoutingAlgorithm: Send + Sync {
     /// the channel dependency graph from this; it must describe exactly
     /// the port/VC-class pairs the RC/VA stages legalize at runtime. The
     /// default mirrors the kernel: the algorithm's adaptive ports on
-    /// adaptive VCs plus the dimension-order port on the escape VC.
+    /// adaptive VCs plus the topology's dimension-order escape hop (port
+    /// and lane) on the escape VCs.
     /// `cur != dst` is guaranteed by the caller.
-    fn next_hops(&self, cur: Coord, dst: Coord) -> NextHops {
+    fn next_hops(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> NextHops {
+        let (escape, escape_lane) = crate::topology::escape_hop(cfg, cur, dst);
         NextHops {
-            adaptive: self.adaptive_ports(cur, dst),
-            escape: escape_port(cur, dst),
+            adaptive: self.adaptive_ports(cfg, cur, dst),
+            escape,
+            escape_lane,
         }
     }
 }
@@ -82,11 +91,16 @@ pub struct NextHops {
     pub adaptive: [Option<Port>; 2],
     /// The port usable on the per-class escape VCs.
     pub escape: Port,
+    /// The escape lane a packet entering an escape VC here must ride
+    /// (always 0 on non-wrapping topologies).
+    pub escape_lane: u8,
 }
 
-/// Dimension-order (XY) port toward `dst`: exhaust X offset first, then Y.
-/// This is every algorithm's escape path. Returns `PORT_LOCAL` when
-/// `cur == dst`.
+/// Dimension-order (XY) port toward `dst` on a *non-wrapping* (mesh)
+/// topology: exhaust X offset first, then Y. This is the mesh escape
+/// path (the fault subsystem's detour functions are built on it);
+/// topology-generic callers use [`crate::topology::escape_hop`].
+/// Returns `PORT_LOCAL` when `cur == dst`.
 #[inline]
 pub fn escape_port(cur: Coord, dst: Coord) -> Port {
     if dst.x > cur.x {
@@ -102,7 +116,9 @@ pub fn escape_port(cur: Coord, dst: Coord) -> Port {
     }
 }
 
-/// The (up to two) minimal productive directions from `cur` to `dst`.
+/// The (up to two) minimal productive directions from `cur` to `dst` on
+/// a *non-wrapping* (mesh) topology; topology-generic callers use
+/// [`crate::topology::productive_ports`].
 #[inline]
 pub fn productive_ports(cur: Coord, dst: Coord) -> [Option<Port>; 2] {
     let xp = if dst.x > cur.x {
@@ -136,8 +152,9 @@ pub fn free_adaptive_credits(cfg: &SimConfig, router: &Router, p: Port) -> usize
         .sum()
 }
 
-/// Step one hop from `c` through output port `p` (must be a mesh port and
-/// in-bounds; callers guarantee productivity).
+/// Step one hop from `c` through output port `p` on a *non-wrapping*
+/// mesh (must be in-bounds; callers guarantee productivity).
+/// Topology-generic callers use [`crate::topology::step`], which wraps.
 #[inline]
 pub fn step(c: Coord, p: Port) -> Coord {
     match p {

@@ -1,11 +1,13 @@
 //! Deterministic dimension-order (XY) routing.
 
-use super::{escape_port, RoutingAlgorithm, SelectCtx};
+use super::{RoutingAlgorithm, SelectCtx};
+use crate::config::SimConfig;
 use crate::ids::{Coord, Port};
 
-/// Pure XY: the single dimension-order port is offered on the adaptive VCs
-/// as well, so all VCs are usable but no path diversity exists. Inherently
-/// deadlock-free.
+/// Pure dimension-order: the single escape-path port is offered on the
+/// adaptive VCs as well, so all VCs are usable but no path diversity
+/// exists. Inherently deadlock-free (on wrapping topologies via the
+/// dateline escape lanes).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct XyRouting;
 
@@ -14,8 +16,8 @@ impl RoutingAlgorithm for XyRouting {
         "XY"
     }
 
-    fn adaptive_ports(&self, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
-        [Some(escape_port(cur, dst)), None]
+    fn adaptive_ports(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
+        [Some(crate::topology::escape_hop(cfg, cur, dst).0), None]
     }
 
     fn select(&self, _ctx: &SelectCtx<'_>, _cands: &[Port]) -> usize {
@@ -26,15 +28,27 @@ impl RoutingAlgorithm for XyRouting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{PORT_EAST, PORT_SOUTH};
+    use crate::ids::{PORT_EAST, PORT_SOUTH, PORT_WEST};
+    use crate::topology::TopologyKind;
 
     #[test]
     fn single_dor_candidate() {
+        let cfg = SimConfig::table1();
         let r = XyRouting;
         let cur = Coord { x: 0, y: 0 };
         let dst = Coord { x: 3, y: 3 };
-        assert_eq!(r.adaptive_ports(cur, dst), [Some(PORT_EAST), None]);
+        assert_eq!(r.adaptive_ports(&cfg, cur, dst), [Some(PORT_EAST), None]);
         let cur2 = Coord { x: 3, y: 0 };
-        assert_eq!(r.adaptive_ports(cur2, dst), [Some(PORT_SOUTH), None]);
+        assert_eq!(r.adaptive_ports(&cfg, cur2, dst), [Some(PORT_SOUTH), None]);
+    }
+
+    #[test]
+    fn torus_takes_wraparound_shortcut() {
+        let mut cfg = SimConfig::table1();
+        cfg.topology = TopologyKind::Torus;
+        let r = XyRouting;
+        let cur = Coord { x: 0, y: 0 };
+        let dst = Coord { x: 7, y: 0 };
+        assert_eq!(r.adaptive_ports(&cfg, cur, dst), [Some(PORT_WEST), None]);
     }
 }

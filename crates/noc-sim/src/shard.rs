@@ -2,8 +2,9 @@
 //!
 //! ## Execution model
 //!
-//! The mesh is partitioned into `effective_shards()` contiguous *bands* of
-//! routers (and their NIs), each owned by a persistent worker thread for
+//! The network is partitioned into `effective_shards()` contiguous *bands*
+//! of routers (and their NIs — `concentration` nodes per router on a
+//! concentrated mesh), each owned by a persistent worker thread for
 //! the duration of a *segment* (a span of cycles bounded by the oracle's
 //! end-of-cycle scan schedule). Each cycle:
 //!
@@ -129,6 +130,9 @@ fn worker_loop(
     tx: &Sender<ShardMsg>,
 ) {
     let base = w.base;
+    // Nodes are banded alongside their router: `concentration` nodes per
+    // router, so the band's first node is `base * concentration`.
+    let node_base = base * w.cfg.concentration();
     let mut sa_scratch: Vec<SaCand> = Vec::new();
     let mut va_scratch: Vec<VaReq> = Vec::new();
     while let Ok(cmd) = rx.recv() {
@@ -163,7 +167,7 @@ fn worker_loop(
             }
         }
         for rs in &cmd.replies {
-            nodes[rs.node - base]
+            nodes[rs.node - node_base]
                 .schedule_reply(rs.ready, rs.id, rs.dst, rs.app, rs.class, rs.size);
         }
         Network::sa_band(
@@ -274,10 +278,12 @@ fn run_segment(net: &mut Network, stop: u64) {
     let num_shards = net.effective_shards();
     let n = net.routers.len();
     let chunk = n.div_ceil(num_shards);
-    let num_bands = n.div_ceil(chunk);
-    let bounds: Vec<(usize, usize)> = (0..num_bands)
-        .map(|b| (b * chunk, ((b + 1) * chunk).min(n)))
-        .collect();
+    // Router bands come from the topology (uniform `chunk`-sized spans of
+    // the row-major router order, so `router / chunk` routes work to its
+    // band); each band also owns the `concentration` nodes per router.
+    let bounds = crate::topology::contiguous_bands(&net.cfg, num_shards);
+    let num_bands = bounds.len();
+    let conc = net.cfg.concentration();
     let num_apps = net.stats.injected_packets.len();
     let record_notes = net.oracle.is_some();
     let force_exhaustive = net.force_exhaustive;
@@ -314,7 +320,7 @@ fn run_segment(net: &mut Network, stop: u64) {
             let mut niter = nodes_owned.into_iter();
             for &(lo, hi) in &bounds {
                 let r_band: Vec<Router> = riter.by_ref().take(hi - lo).collect();
-                let n_band: Vec<Node> = niter.by_ref().take(hi - lo).collect();
+                let n_band: Vec<Node> = niter.by_ref().take((hi - lo) * conc).collect();
                 let (ctx, crx) = channel::<CycleCmd>();
                 let (otx, orx) = channel::<ShardMsg>();
                 cmd_txs.push(ctx);
@@ -384,7 +390,7 @@ fn run_segment(net: &mut Network, stop: u64) {
                     next_pkt_id,
                     None,
                 ) {
-                    rep_bands[rs.node / chunk].push(rs);
+                    rep_bands[rs.node / conc / chunk].push(rs);
                 }
             }
             Network::generate_packets(
@@ -406,7 +412,7 @@ fn run_segment(net: &mut Network, stop: u64) {
                 cred_bands[c.0 / chunk].push(c);
             }
             for &e in &gen_buf {
-                enq_bands[e.0 as usize / chunk].push(e);
+                enq_bands[e.0 as usize / conc / chunk].push(e);
             }
             for (b, tx) in cmd_txs.iter().enumerate() {
                 let cmd = CycleCmd {
@@ -463,7 +469,7 @@ fn run_segment(net: &mut Network, stop: u64) {
         // answers with its state, collected in band order.
         drop(cmd_txs);
         let mut new_routers: Vec<Router> = Vec::with_capacity(n);
-        let mut new_nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(n * conc);
         for rx in &out_rxs {
             match rx.recv().expect("worker sends Done") {
                 ShardMsg::Done(r, nd) => {

@@ -1,0 +1,727 @@
+//! Topology abstraction: mesh, torus, ring and concentrated mesh.
+//!
+//! The simulator kernel is topology-parameterized through two layers:
+//!
+//! 1. **Hot-path free functions** ([`distance`], [`step`], [`has_link`],
+//!    [`productive_ports`], [`escape_hop`], …) taking `&SimConfig` and
+//!    dispatching on [`SimConfig::topology`]. The cycle kernel, the
+//!    routing algorithms, the invariant oracle and the static verifier
+//!    all route their geometry through these, so a single match (usually
+//!    branch-predicted perfectly — the kind never changes mid-run)
+//!    replaces the old hardwired mesh arithmetic.
+//! 2. **The [`Topology`] trait** with one implementation per kind
+//!    ([`MeshTopology`], [`TorusTopology`], [`RingTopology`],
+//!    [`CMeshTopology`]), delegating to the free functions. This is the
+//!    public enumeration surface (neighbor iteration, next-hop
+//!    enumeration for the verifier, band partitioning) and the shape a
+//!    future irregular topology would plug into.
+//!
+//! ## Escape routing per topology
+//!
+//! Every topology ships a deadlock-free escape function (Duato's theory:
+//! the escape VCs must form an acyclic channel dependency graph, and the
+//! extended escape → adaptive* → escape dependencies must not close
+//! cycles either — the static verifier in [`crate::verify`] proves both
+//! for every constructed network):
+//!
+//! * **Mesh / concentrated mesh** — dimension-order XY on one escape
+//!   lane per class. Acyclic by the classic turn-model argument.
+//! * **Torus / ring** (a ring is a 1-D torus) — dimension-order over the
+//!   *chosen minimal direction* per dimension (ties at exactly half the
+//!   ring go east/south, deterministically), with **two escape lanes per
+//!   class** playing the role of dateline VCs: a packet travels on
+//!   lane 1 while the remainder of its path in the chosen direction
+//!   still crosses that direction's wraparound link, and on lane 0 after
+//!   (or if it never does). Within one direction the lane-1 channel
+//!   chain feeds the wrap link which feeds the lane-0 chain — a total
+//!   order, hence acyclic; X channels strictly precede Y channels; and
+//!   because the adaptive productive ports on a torus are restricted to
+//!   the *same* chosen minimal directions, adaptive detours can only
+//!   move a packet further along that order, so the extended
+//!   dependencies stay acyclic too (the verifier checks this
+//!   computationally rather than trusting the argument).
+//!
+//! ## Concentration
+//!
+//! A concentrated mesh keeps `NUM_PORTS` and the router microarchitecture
+//! unchanged: `concentration` nodes share each router's single local
+//! port, injecting into distinct local input VCs (one flit per cycle per
+//! node, as before). Node `n` maps to router `n / concentration`; all
+//! nodes of a router share the router's coordinate and region
+//! application. Ejection demultiplexes on the packet's destination node.
+//!
+//! ## What stays mesh-only
+//!
+//! The fault/resilience subsystem ([`crate::fault`]) — its detour escape
+//! function is a turn-model argument specific to the mesh, so
+//! [`SimConfig::validate`] rejects non-empty fault timelines on other
+//! topologies rather than shipping an unproven degraded-routing
+//! function.
+
+use crate::config::SimConfig;
+use crate::ids::{Coord, Port, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use crate::routing::NextHops;
+use serde::{Deserialize, Serialize};
+
+/// Which topology a [`SimConfig`] describes. Carried in the config (and
+/// folded into behavioral digests only when not the default mesh, so all
+/// pre-existing mesh digests and cache keys are unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TopologyKind {
+    /// 2-D mesh, `width × height` (the paper's topology).
+    #[default]
+    Mesh,
+    /// 2-D torus: mesh plus per-row and per-column wraparound links.
+    Torus,
+    /// 1-D bidirectional ring of `width` routers (`height` must be 1).
+    Ring,
+    /// Concentrated mesh: a `width × height` router grid with
+    /// `concentration` nodes sharing each router's local port.
+    CMesh {
+        /// Nodes per router (≥ 2; 4 is the conventional choice).
+        concentration: u8,
+    },
+}
+
+impl TopologyKind {
+    /// Short lowercase label (also the `--topology` CLI spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+            TopologyKind::Ring => "ring",
+            TopologyKind::CMesh { .. } => "cmesh",
+        }
+    }
+
+    /// Parse a CLI spelling (`mesh`, `torus`, `ring`, `cmesh` or
+    /// `cmesh:<c>`). `cmesh` without a factor means concentration 4.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mesh" => Some(TopologyKind::Mesh),
+            "torus" => Some(TopologyKind::Torus),
+            "ring" => Some(TopologyKind::Ring),
+            "cmesh" => Some(TopologyKind::CMesh { concentration: 4 }),
+            _ => {
+                let c = s.strip_prefix("cmesh:")?.parse().ok()?;
+                Some(TopologyKind::CMesh { concentration: c })
+            }
+        }
+    }
+
+    /// Escape lanes per message class: torus and ring need a second
+    /// (dateline) lane; mesh variants need one.
+    #[inline]
+    pub fn escape_lanes(self) -> usize {
+        match self {
+            TopologyKind::Torus | TopologyKind::Ring => 2,
+            TopologyKind::Mesh | TopologyKind::CMesh { .. } => 1,
+        }
+    }
+
+    /// Nodes per router.
+    #[inline]
+    pub fn concentration(self) -> usize {
+        match self {
+            TopologyKind::CMesh { concentration } => concentration as usize,
+            _ => 1,
+        }
+    }
+
+    /// Do links wrap around in X (and, unless a ring, in Y)?
+    #[inline]
+    pub fn wraps(self) -> bool {
+        matches!(self, TopologyKind::Torus | TopologyKind::Ring)
+    }
+
+    /// Fold into a digest. Only called for non-mesh kinds (the mesh is
+    /// digest-transparent so pre-existing goldens and cache keys hold).
+    pub fn digest_into(self, d: &mut metrics::Digest) {
+        match self {
+            TopologyKind::Mesh => d.write_u64(0),
+            TopologyKind::Torus => d.write_u64(1),
+            TopologyKind::Ring => d.write_u64(2),
+            TopologyKind::CMesh { concentration } => {
+                d.write_u64(3);
+                d.write_u64(concentration as u64);
+            }
+        }
+    }
+
+    /// The trait-object view of this kind (enumeration / verifier
+    /// surface; the kernel uses the free functions directly).
+    pub fn build(self) -> Box<dyn Topology> {
+        match self {
+            TopologyKind::Mesh => Box::new(MeshTopology),
+            TopologyKind::Torus => Box::new(TorusTopology),
+            TopologyKind::Ring => Box::new(RingTopology),
+            TopologyKind::CMesh { concentration } => Box::new(CMeshTopology { concentration }),
+        }
+    }
+}
+
+/// Per-dimension distance: wrapped minimum on a torus/ring dimension,
+/// plain offset otherwise.
+#[inline]
+fn dim_dist(wrap: bool, a: u8, b: u8, size: u8) -> u32 {
+    let d = u32::from(a.abs_diff(b));
+    if wrap {
+        d.min(u32::from(size) - d)
+    } else {
+        d
+    }
+}
+
+/// Minimal hop distance between two router coordinates.
+#[inline]
+pub fn distance(cfg: &SimConfig, a: Coord, b: Coord) -> u32 {
+    if cfg.topology.wraps() {
+        dim_dist(true, a.x, b.x, cfg.width)
+            + if cfg.topology == TopologyKind::Ring {
+                0
+            } else {
+                dim_dist(true, a.y, b.y, cfg.height)
+            }
+    } else {
+        a.hops_to(b)
+    }
+}
+
+/// Does the directed link out of `c` through port `p` exist?
+#[inline]
+pub fn has_link(cfg: &SimConfig, c: Coord, p: Port) -> bool {
+    match cfg.topology {
+        TopologyKind::Mesh | TopologyKind::CMesh { .. } => match p {
+            PORT_NORTH => c.y > 0,
+            PORT_SOUTH => c.y + 1 < cfg.height,
+            PORT_EAST => c.x + 1 < cfg.width,
+            PORT_WEST => c.x > 0,
+            _ => false,
+        },
+        TopologyKind::Torus => (1..=4).contains(&p),
+        TopologyKind::Ring => p == PORT_EAST || p == PORT_WEST,
+    }
+}
+
+/// Step one hop from `c` through port `p`, wrapping on torus/ring
+/// dimensions. The link must exist ([`has_link`]).
+#[inline]
+pub fn step(cfg: &SimConfig, c: Coord, p: Port) -> Coord {
+    debug_assert!(has_link(cfg, c, p), "step() through missing link {p}");
+    let (w, h) = (cfg.width, cfg.height);
+    match p {
+        PORT_NORTH => Coord {
+            x: c.x,
+            y: if c.y == 0 { h - 1 } else { c.y - 1 },
+        },
+        PORT_SOUTH => Coord {
+            x: c.x,
+            y: if c.y + 1 == h { 0 } else { c.y + 1 },
+        },
+        PORT_EAST => Coord {
+            x: if c.x + 1 == w { 0 } else { c.x + 1 },
+            y: c.y,
+        },
+        PORT_WEST => Coord {
+            x: if c.x == 0 { w - 1 } else { c.x - 1 },
+            y: c.y,
+        },
+        _ => panic!("step() through non-link port {p}"),
+    }
+}
+
+/// The chosen minimal X-direction port toward `dst` (`None` when the X
+/// offset is resolved). On wrapping topologies ties at exactly half the
+/// ring go east, deterministically, so every router along a minimal path
+/// agrees on the direction.
+#[inline]
+fn x_dir(cfg: &SimConfig, cur: Coord, dst: Coord) -> Option<Port> {
+    if cfg.topology.wraps() {
+        let w = u32::from(cfg.width);
+        let east = (u32::from(dst.x) + w - u32::from(cur.x)) % w;
+        if east == 0 {
+            None
+        } else if east <= w - east {
+            Some(PORT_EAST)
+        } else {
+            Some(PORT_WEST)
+        }
+    } else if dst.x > cur.x {
+        Some(PORT_EAST)
+    } else if dst.x < cur.x {
+        Some(PORT_WEST)
+    } else {
+        None
+    }
+}
+
+/// The chosen minimal Y-direction port toward `dst` (ties go south on a
+/// torus). Always `None` on a ring.
+#[inline]
+fn y_dir(cfg: &SimConfig, cur: Coord, dst: Coord) -> Option<Port> {
+    if cfg.topology == TopologyKind::Ring {
+        return None;
+    }
+    if cfg.topology.wraps() {
+        let h = u32::from(cfg.height);
+        let south = (u32::from(dst.y) + h - u32::from(cur.y)) % h;
+        if south == 0 {
+            None
+        } else if south <= h - south {
+            Some(PORT_SOUTH)
+        } else {
+            Some(PORT_NORTH)
+        }
+    } else if dst.y > cur.y {
+        Some(PORT_SOUTH)
+    } else if dst.y < cur.y {
+        Some(PORT_NORTH)
+    } else {
+        None
+    }
+}
+
+/// The (up to two) productive output ports from `cur` toward `dst` —
+/// one per dimension. On wrapping topologies only the *chosen* minimal
+/// direction per dimension is productive (both directions may be
+/// minimal at exactly half the ring, but offering both would let
+/// adaptive hops run against the dateline order; see the module docs).
+#[inline]
+pub fn productive_ports(cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2] {
+    [x_dir(cfg, cur, dst), y_dir(cfg, cur, dst)]
+}
+
+/// The escape hop from `cur` toward `dst`: the dimension-order port over
+/// the chosen minimal directions, plus the escape *lane* a packet
+/// entering an escape VC here must use. Lane 1 while the remaining path
+/// in the chosen direction still crosses that direction's wraparound
+/// link, lane 0 after — the dateline scheme; always lane 0 on mesh
+/// variants. Returns `(PORT_LOCAL, 0)` at the destination.
+#[inline]
+pub fn escape_hop(cfg: &SimConfig, cur: Coord, dst: Coord) -> (Port, u8) {
+    if !cfg.topology.wraps() {
+        return (crate::routing::escape_port(cur, dst), 0);
+    }
+    if let Some(p) = x_dir(cfg, cur, dst) {
+        // Going east the wrap link is crossed iff the destination column
+        // is behind us (dst.x < cur.x); symmetrically for west.
+        let lane = match p {
+            PORT_EAST => dst.x < cur.x,
+            _ => dst.x > cur.x,
+        };
+        (p, u8::from(lane))
+    } else if let Some(p) = y_dir(cfg, cur, dst) {
+        let lane = match p {
+            PORT_SOUTH => dst.y < cur.y,
+            _ => dst.y > cur.y,
+        };
+        (p, u8::from(lane))
+    } else {
+        (PORT_LOCAL, 0)
+    }
+}
+
+/// Router index reached from router `r` through port `p`.
+#[inline]
+pub fn neighbor_router(cfg: &SimConfig, r: usize, p: Port) -> usize {
+    cfg.router_at(step(cfg, cfg.router_coord(r), p))
+}
+
+/// Contiguous router bands for the sharded tick engine: `num_bands`
+/// equal chunks of the row-major router order (every supported topology
+/// numbers routers row-major, so chunks are spatially contiguous and
+/// concatenating band outputs in band order reproduces the scalar
+/// engine's single ascending sweep).
+pub fn contiguous_bands(cfg: &SimConfig, num_bands: usize) -> Vec<(usize, usize)> {
+    let n = cfg.num_routers();
+    let chunk = n.div_ceil(num_bands);
+    (0..n.div_ceil(chunk))
+        .map(|b| (b * chunk, ((b + 1) * chunk).min(n)))
+        .collect()
+}
+
+/// The trait view of a topology: node/router enumeration, link
+/// iteration, minimal distance and the per-topology deadlock-free escape
+/// function. The kernel's hot path uses the free functions of this
+/// module directly (static dispatch); the trait is the enumeration
+/// surface for the verifier, tooling and tests.
+pub trait Topology: Send + Sync {
+    /// Which [`TopologyKind`] this is.
+    fn kind(&self) -> TopologyKind;
+
+    /// Short lowercase name.
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Escape lanes per message class ([`TopologyKind::escape_lanes`]).
+    fn escape_lanes(&self) -> usize {
+        self.kind().escape_lanes()
+    }
+
+    /// Number of routers.
+    fn num_routers(&self, cfg: &SimConfig) -> usize {
+        cfg.num_routers()
+    }
+
+    /// Number of nodes (NIs) — `concentration ×` routers.
+    fn num_nodes(&self, cfg: &SimConfig) -> usize {
+        cfg.num_routers() * self.kind().concentration()
+    }
+
+    /// Does the directed link out of `c` through `p` exist?
+    fn has_link(&self, cfg: &SimConfig, c: Coord, p: Port) -> bool;
+
+    /// One hop through an existing link.
+    fn step(&self, cfg: &SimConfig, c: Coord, p: Port) -> Coord;
+
+    /// Minimal hop distance.
+    fn distance(&self, cfg: &SimConfig, a: Coord, b: Coord) -> u32;
+
+    /// Productive (minimal, chosen-direction) ports, one per dimension.
+    fn productive_ports(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> [Option<Port>; 2];
+
+    /// The escape port and lane from `cur` toward `dst`.
+    fn escape_hop(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> (Port, u8);
+
+    /// Every outgoing link of `c` as `(port, neighbor)`.
+    fn neighbors(&self, cfg: &SimConfig, c: Coord) -> Vec<(Port, Coord)> {
+        (1..crate::ids::NUM_PORTS)
+            .filter(|&p| self.has_link(cfg, c, p))
+            .map(|p| (p, self.step(cfg, c, p)))
+            .collect()
+    }
+
+    /// The fully-adaptive-plus-escape next-hop enumeration the static
+    /// verifier treats as the maximal legal routing relation at
+    /// `(cur, dst)`.
+    fn next_hops(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> NextHops {
+        let (escape, escape_lane) = self.escape_hop(cfg, cur, dst);
+        NextHops {
+            adaptive: self.productive_ports(cfg, cur, dst),
+            escape,
+            escape_lane,
+        }
+    }
+
+    /// Contiguous router bands for the sharded engine.
+    fn bands(&self, cfg: &SimConfig, num_bands: usize) -> Vec<(usize, usize)> {
+        contiguous_bands(cfg, num_bands)
+    }
+}
+
+macro_rules! delegate_topology {
+    ($ty:ty, $kind:expr) => {
+        impl Topology for $ty {
+            fn kind(&self) -> TopologyKind {
+                $kind(self)
+            }
+            fn has_link(&self, cfg: &SimConfig, c: Coord, p: Port) -> bool {
+                debug_assert_eq!(cfg.topology, self.kind());
+                has_link(cfg, c, p)
+            }
+            fn step(&self, cfg: &SimConfig, c: Coord, p: Port) -> Coord {
+                debug_assert_eq!(cfg.topology, self.kind());
+                step(cfg, c, p)
+            }
+            fn distance(&self, cfg: &SimConfig, a: Coord, b: Coord) -> u32 {
+                debug_assert_eq!(cfg.topology, self.kind());
+                distance(cfg, a, b)
+            }
+            fn productive_ports(
+                &self,
+                cfg: &SimConfig,
+                cur: Coord,
+                dst: Coord,
+            ) -> [Option<Port>; 2] {
+                debug_assert_eq!(cfg.topology, self.kind());
+                productive_ports(cfg, cur, dst)
+            }
+            fn escape_hop(&self, cfg: &SimConfig, cur: Coord, dst: Coord) -> (Port, u8) {
+                debug_assert_eq!(cfg.topology, self.kind());
+                escape_hop(cfg, cur, dst)
+            }
+        }
+    };
+}
+
+/// The paper's 2-D mesh (any radix the `u64` VC bitsets allow).
+pub struct MeshTopology;
+/// 2-D torus with dateline escape lanes.
+pub struct TorusTopology;
+/// 1-D bidirectional ring (a one-row torus).
+pub struct RingTopology;
+/// Concentrated mesh: `concentration` nodes per router.
+pub struct CMeshTopology {
+    /// Nodes per router.
+    pub concentration: u8,
+}
+
+delegate_topology!(MeshTopology, |_t: &MeshTopology| TopologyKind::Mesh);
+delegate_topology!(TorusTopology, |_t: &TorusTopology| TopologyKind::Torus);
+delegate_topology!(RingTopology, |_t: &RingTopology| TopologyKind::Ring);
+delegate_topology!(CMeshTopology, |t: &CMeshTopology| TopologyKind::CMesh {
+    concentration: t.concentration
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn c(x: u8, y: u8) -> Coord {
+        Coord { x, y }
+    }
+
+    fn cfg_kind(kind: TopologyKind, width: u8, height: u8) -> SimConfig {
+        let mut cfg = SimConfig::table1();
+        cfg.topology = kind;
+        cfg.width = width;
+        cfg.height = height;
+        cfg
+    }
+
+    fn all_pairs(cfg: &SimConfig) -> Vec<(Coord, Coord)> {
+        let mut v = Vec::new();
+        for a in 0..cfg.num_routers() {
+            for b in 0..cfg.num_routers() {
+                v.push((cfg.router_coord(a), cfg.router_coord(b)));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+            TopologyKind::Ring,
+            TopologyKind::CMesh { concentration: 4 },
+        ] {
+            assert_eq!(TopologyKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(
+            TopologyKind::parse("cmesh:2"),
+            Some(TopologyKind::CMesh { concentration: 2 })
+        );
+        assert_eq!(TopologyKind::parse("hypercube"), None);
+    }
+
+    #[test]
+    fn torus_distance_uses_wraparound() {
+        let cfg = cfg_kind(TopologyKind::Torus, 8, 8);
+        assert_eq!(distance(&cfg, c(0, 0), c(7, 0)), 1);
+        assert_eq!(distance(&cfg, c(0, 0), c(4, 4)), 8);
+        assert_eq!(distance(&cfg, c(1, 1), c(6, 7)), 3 + 2);
+        for (a, b) in all_pairs(&cfg) {
+            assert_eq!(distance(&cfg, a, b), distance(&cfg, b, a));
+        }
+    }
+
+    #[test]
+    fn ring_distance_is_circular() {
+        let cfg = cfg_kind(TopologyKind::Ring, 10, 1);
+        assert_eq!(distance(&cfg, c(0, 0), c(9, 0)), 1);
+        assert_eq!(distance(&cfg, c(0, 0), c(5, 0)), 5);
+        assert_eq!(distance(&cfg, c(2, 0), c(8, 0)), 4);
+    }
+
+    #[test]
+    fn step_is_inverse_of_opposite_step() {
+        use crate::ids::opposite;
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+            TopologyKind::CMesh { concentration: 4 },
+        ] {
+            let cfg = cfg_kind(kind, 5, 4);
+            for r in 0..cfg.num_routers() {
+                let a = cfg.router_coord(r);
+                for p in 1..crate::ids::NUM_PORTS {
+                    if !has_link(&cfg, a, p) {
+                        continue;
+                    }
+                    let b = step(&cfg, a, p);
+                    assert!(has_link(&cfg, b, opposite(p)), "{kind:?} {a:?} {p}");
+                    assert_eq!(step(&cfg, b, opposite(p)), a, "{kind:?} {a:?} {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_has_no_vertical_links() {
+        let cfg = cfg_kind(TopologyKind::Ring, 8, 1);
+        for x in 0..8 {
+            assert!(has_link(&cfg, c(x, 0), PORT_EAST));
+            assert!(has_link(&cfg, c(x, 0), PORT_WEST));
+            assert!(!has_link(&cfg, c(x, 0), PORT_NORTH));
+            assert!(!has_link(&cfg, c(x, 0), PORT_SOUTH));
+        }
+    }
+
+    #[test]
+    fn productive_ports_reduce_topology_distance() {
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+            TopologyKind::Ring,
+            TopologyKind::CMesh { concentration: 2 },
+        ] {
+            let (w, h) = if kind == TopologyKind::Ring {
+                (9, 1)
+            } else {
+                (5, 4)
+            };
+            let cfg = cfg_kind(kind, w, h);
+            for (a, b) in all_pairs(&cfg) {
+                if a == b {
+                    continue;
+                }
+                let ports = productive_ports(&cfg, a, b);
+                assert!(ports.iter().flatten().count() > 0, "{kind:?} {a:?}->{b:?}");
+                for p in ports.into_iter().flatten() {
+                    assert!(has_link(&cfg, a, p));
+                    assert_eq!(
+                        distance(&cfg, step(&cfg, a, p), b) + 1,
+                        distance(&cfg, a, b),
+                        "{kind:?} {a:?}->{b:?} via {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_walk_terminates_and_is_minimal() {
+        for kind in [
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+            TopologyKind::Ring,
+            TopologyKind::CMesh { concentration: 4 },
+        ] {
+            let (w, h) = if kind == TopologyKind::Ring {
+                (8, 1)
+            } else {
+                (4, 4)
+            };
+            let cfg = cfg_kind(kind, w, h);
+            for (a, b) in all_pairs(&cfg) {
+                let mut cur = a;
+                let mut hops = 0;
+                loop {
+                    let (p, _lane) = escape_hop(&cfg, cur, b);
+                    if p == PORT_LOCAL {
+                        break;
+                    }
+                    assert_eq!(
+                        distance(&cfg, step(&cfg, cur, p), b) + 1,
+                        distance(&cfg, cur, b),
+                        "{kind:?} escape not minimal at {cur:?} toward {b:?}"
+                    );
+                    cur = step(&cfg, cur, p);
+                    hops += 1;
+                    assert!(hops <= distance(&cfg, a, b), "{kind:?} escape loops");
+                }
+                assert_eq!(cur, b);
+                assert_eq!(hops, distance(&cfg, a, b));
+            }
+        }
+    }
+
+    /// The dateline invariant: along any escape walk on a wrapping
+    /// topology, within one dimension the lane sequence is a (possibly
+    /// empty) run of 1s followed by a run of 0s — it never goes back up,
+    /// and the 1→0 transition happens exactly at the wrap link.
+    #[test]
+    fn torus_escape_lanes_cross_dateline_once() {
+        for (kind, w, h) in [
+            (TopologyKind::Torus, 5, 5),
+            (TopologyKind::Torus, 4, 6),
+            (TopologyKind::Ring, 9, 1),
+        ] {
+            let cfg = cfg_kind(kind, w, h);
+            for (a, b) in all_pairs(&cfg) {
+                let mut cur = a;
+                let mut last: Option<(Port, u8)> = None;
+                loop {
+                    let (p, lane) = escape_hop(&cfg, cur, b);
+                    if p == PORT_LOCAL {
+                        break;
+                    }
+                    if let Some((lp, ll)) = last {
+                        if lp == p {
+                            assert!(lane <= ll, "lane rose {a:?}->{b:?} at {cur:?}");
+                        }
+                    }
+                    let nxt = step(&cfg, cur, p);
+                    let wrapped = match p {
+                        PORT_EAST => nxt.x < cur.x,
+                        PORT_WEST => nxt.x > cur.x,
+                        PORT_SOUTH => nxt.y < cur.y,
+                        _ => nxt.y > cur.y,
+                    };
+                    if wrapped {
+                        assert_eq!(lane, 1, "wrap hop must ride lane 1 ({a:?}->{b:?})");
+                    }
+                    last = Some((p, lane));
+                    cur = nxt;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cmesh_node_router_mapping() {
+        let cfg = cfg_kind(TopologyKind::CMesh { concentration: 4 }, 4, 4);
+        assert_eq!(cfg.num_routers(), 16);
+        assert_eq!(cfg.num_nodes(), 64);
+        for n in 0..cfg.num_nodes() as NodeId {
+            let r = cfg.router_of(n);
+            assert_eq!(r, n as usize / 4);
+            assert_eq!(cfg.router_at(cfg.coord_of(n)), r);
+        }
+        // node_at returns the base node of the router at that coordinate.
+        assert_eq!(cfg.node_at(c(1, 0)), 4);
+        assert_eq!(cfg.coord_of(5), c(1, 0));
+    }
+
+    #[test]
+    fn bands_are_contiguous_and_cover() {
+        for kind in [TopologyKind::Mesh, TopologyKind::Ring] {
+            let (w, h) = if kind == TopologyKind::Ring {
+                (13, 1)
+            } else {
+                (8, 8)
+            };
+            let cfg = cfg_kind(kind, w, h);
+            for shards in [1, 2, 4, 5] {
+                let bands = contiguous_bands(&cfg, shards);
+                assert_eq!(bands.first().unwrap().0, 0);
+                assert_eq!(bands.last().unwrap().1, cfg.num_routers());
+                for win in bands.windows(2) {
+                    assert_eq!(win[0].1, win[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_objects_delegate() {
+        let cfg = cfg_kind(TopologyKind::Torus, 6, 6);
+        let t = cfg.topology.build();
+        assert_eq!(t.name(), "torus");
+        assert_eq!(t.escape_lanes(), 2);
+        assert_eq!(t.num_routers(&cfg), 36);
+        assert_eq!(t.distance(&cfg, c(0, 0), c(5, 5)), 2);
+        assert_eq!(t.neighbors(&cfg, c(0, 0)).len(), 4);
+        let nh = t.next_hops(&cfg, c(5, 3), c(1, 3));
+        assert_eq!(nh.escape, PORT_EAST);
+        assert_eq!(nh.escape_lane, 1);
+        let mesh = cfg_kind(TopologyKind::Mesh, 8, 8);
+        let t = mesh.topology.build();
+        assert_eq!(t.neighbors(&mesh, c(0, 0)).len(), 2);
+        assert_eq!(t.num_nodes(&mesh), 64);
+    }
+}

@@ -42,10 +42,13 @@ pub enum VcState {
     Idle,
     /// Head flit arrived; route computation done, waiting for VC allocation.
     /// Holds the candidate adaptive output ports (up to two minimal
-    /// productive directions in a mesh) and the escape (DOR) port.
+    /// productive directions), the escape (dimension-order) port, and the
+    /// escape lane the packet must ride here (always 0 on non-wrapping
+    /// topologies; the dateline lane on torus/ring).
     Routed {
         adaptive: [Option<Port>; 2],
         escape: Port,
+        escape_lane: u8,
     },
     /// Output VC allocated; flits compete in switch allocation.
     Active { out_port: Port, out_vc: usize },

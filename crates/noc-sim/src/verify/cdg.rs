@@ -1,21 +1,25 @@
 //! Channel-dependency-graph construction and Tarjan SCC cycle detection.
 //!
-//! Channel nodes are `(router, mesh-port)` pairs (4 per router); the class
-//! dimension is collapsed as documented in the module root. For every
-//! destination the routing function is enumerated symbolically through
+//! Channel nodes are `(router, port, dateline-lane)` triples — 4 ports per
+//! router, [`SimConfig::escape_lanes`] lanes per port (1 on the non-wrapping
+//! grids, 2 on torus/ring) — with the message-class dimension collapsed as
+//! documented in the module root. For every destination the routing
+//! function is enumerated symbolically through
 //! [`RoutingAlgorithm::next_hops`](crate::routing::RoutingAlgorithm::next_hops),
-//! yielding per-router usable adaptive ports and the escape port. Two
-//! graphs can be requested:
+//! yielding per-router usable adaptive ports and the escape (port, lane).
+//! Two graphs can be requested:
 //!
 //! * **extended escape graph** (the default, Duato's criterion): an edge
 //!   `e1 → e2` between escape channels whenever a packet holding `e1` can
 //!   reach, through zero or more adaptive channels, a router where it
-//!   requests `e2`. Because all usable hops are minimal, the adaptive
-//!   reachability closure is computed by dynamic programming in increasing
-//!   hop-distance order (the adaptive subgraph per destination is a DAG).
+//!   requests `e2`. Because all usable hops are minimal under the
+//!   topology's distance, the adaptive reachability closure is computed by
+//!   dynamic programming in increasing distance order (the adaptive
+//!   subgraph per destination is a DAG).
 //! * **full adaptive graph** (`without_escape`): direct dependencies
 //!   between consecutive adaptive channels — this is what must be acyclic
-//!   when no escape path exists.
+//!   when no escape path exists. Lanes are irrelevant here (only lane 0 is
+//!   populated).
 
 use super::legality;
 use super::{
@@ -24,8 +28,7 @@ use super::{
 };
 use crate::config::SimConfig;
 use crate::ids::{Coord, NodeId, Port};
-use crate::network::Network;
-use crate::routing::step;
+use crate::topology;
 use std::collections::{BTreeSet, VecDeque};
 
 /// Capped violation recorder (the count is uncapped).
@@ -58,66 +61,71 @@ impl Violations {
     }
 }
 
-/// Channel node index of `(router, mesh-port)` — ports 1..=4 map to 0..=3.
+/// Channel node index of `(router, port, lane)` — ports 1..=4 map to
+/// 0..=3, `lanes` is the per-port lane count.
 #[inline]
-fn chan(router: usize, port: Port) -> usize {
-    router * 4 + (port - 1)
+fn chan(lanes: usize, router: usize, port: Port, lane: usize) -> usize {
+    (router * 4 + (port - 1)) * lanes + lane
 }
 
-fn chan_id(cfg: &SimConfig, idx: usize, escape: bool) -> ChannelId {
-    let _ = cfg;
+fn chan_id(lanes: usize, idx: usize, escape: bool) -> ChannelId {
+    let router = (idx / (4 * lanes)) as NodeId;
+    let rem = idx % (4 * lanes);
     ChannelId {
-        router: (idx / 4) as NodeId,
-        port: idx % 4 + 1,
+        router,
+        port: rem / lanes + 1,
         class: if escape {
             ChannelClass::Escape(0)
         } else {
             ChannelClass::Adaptive
         },
+        lane: (rem % lanes) as u8,
     }
 }
 
-/// Is `p` a legal hop from `cur` toward `d`: a mesh port, in bounds, and
-/// minimal (reduces hop distance)?
+/// Is `p` a legal hop from `cur` toward `d`: a non-local port with a
+/// physical link, and minimal (reduces the topology's distance)?
 fn valid_hop(cfg: &SimConfig, cur: Coord, d: Coord, p: Port) -> bool {
     (1..=4).contains(&p)
-        && Network::port_in_bounds(cfg, cur, p)
-        && step(cur, p).hops_to(d) + 1 == cur.hops_to(d)
+        && topology::has_link(cfg, cur, p)
+        && topology::distance(cfg, topology::step(cfg, cur, p), d) + 1
+            == topology::distance(cfg, cur, d)
 }
 
-/// Detour-escape relaxation: any in-bounds mesh port is a legal *escape*
-/// hop (fault detours are deliberately non-minimal); reachability is then
-/// proven by the escape-chain walk instead of hop-distance DP.
+/// Detour-escape relaxation: any port with a physical link is a legal
+/// *escape* hop (fault detours are deliberately non-minimal); reachability
+/// is then proven by the escape-chain walk instead of the distance DP.
 fn valid_detour_hop(cfg: &SimConfig, cur: Coord, p: Port) -> bool {
-    (1..=4).contains(&p) && Network::port_in_bounds(cfg, cur, p)
+    (1..=4).contains(&p) && topology::has_link(cfg, cur, p)
 }
 
 pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
     let cfg = v.cfg;
-    let n = cfg.num_nodes();
+    let n = cfg.num_routers();
+    let lanes = cfg.escape_lanes();
     let words = n.div_ceil(64);
     let mut vio = Violations::new();
-    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n * 4];
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n * 4 * lanes];
     let mut bad_hops: BTreeSet<(usize, Port)> = BTreeSet::new();
     let mut pairs = 0usize;
 
-    // Routers in increasing hop distance from the destination; recomputed
-    // per destination. All usable hops are minimal, so every hop moves to
-    // an earlier router in this order — both the adaptive closure and the
+    // Routers in increasing distance from the destination; recomputed per
+    // destination. All usable hops are minimal, so every hop moves to an
+    // earlier router in this order — both the adaptive closure and the
     // legality DP walk it.
     let mut order: Vec<usize> = (0..n).collect();
 
     for dst_idx in 0..n {
-        let d = cfg.coord_of(dst_idx as NodeId);
+        let d = cfg.router_coord(dst_idx);
         let mut adap: Vec<[Option<Port>; 2]> = vec![[None; 2]; n];
-        let mut esc: Vec<Option<Port>> = vec![None; n];
+        let mut esc: Vec<Option<(Port, u8)>> = vec![None; n];
         for (r, (ad, es)) in adap.iter_mut().zip(esc.iter_mut()).enumerate() {
             if r == dst_idx || !v.pair_usable(r as NodeId, dst_idx as NodeId) {
                 continue;
             }
             pairs += 1;
-            let cur = cfg.coord_of(r as NodeId);
-            let hops = v.routing.next_hops(cur, d);
+            let cur = cfg.router_coord(r);
+            let hops = v.routing.next_hops(cfg, cur, d);
             let mut k = 0;
             for p in hops.adaptive.into_iter().flatten() {
                 if !valid_hop(cfg, cur, d, p) {
@@ -145,7 +153,7 @@ pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
                 } else {
                     valid_hop(cfg, cur, d, e)
                 };
-                if !e_ok {
+                if !e_ok || hops.escape_lane as usize >= lanes {
                     if bad_hops.insert((r, e)) {
                         vio.record(
                             "routing-function",
@@ -157,7 +165,7 @@ pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
                         );
                     }
                 } else if v.link_usable(r as NodeId, e) {
-                    *es = Some(e);
+                    *es = Some((e, hops.escape_lane));
                 }
                 if es.is_none() {
                     vio.record(
@@ -179,12 +187,12 @@ pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
             }
         }
 
-        order.sort_by_key(|&r| cfg.coord_of(r as NodeId).hops_to(d));
+        order.sort_by_key(|&r| topology::distance(cfg, cfg.router_coord(r), d));
 
         if v.use_escape {
-            extend_escape_edges(cfg, dst_idx, &order, &adap, &esc, words, &mut adj);
+            extend_escape_edges(cfg, dst_idx, &order, &adap, &esc, words, lanes, &mut adj);
         } else {
-            direct_adaptive_edges(cfg, dst_idx, &adap, &mut adj);
+            direct_adaptive_edges(cfg, dst_idx, &adap, lanes, &mut adj);
         }
 
         legality::check_dst(cfg, v, dst_idx, &order, &adap, &esc, &mut vio);
@@ -199,19 +207,18 @@ pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
             Witness::Cycle(
                 cycle
                     .into_iter()
-                    .map(|i| chan_id(cfg, i, v.use_escape))
+                    .map(|i| chan_id(lanes, i, v.use_escape))
                     .collect(),
             ),
         );
     }
 
-    // One channel per in-bounds link (class-0 view; classes are isomorphic).
+    // One channel per physical link and lane (class-0 view; classes are
+    // isomorphic).
     let channels = (0..n)
         .map(|r| {
-            let c = cfg.coord_of(r as NodeId);
-            (1..=4)
-                .filter(|&p| Network::port_in_bounds(cfg, c, p))
-                .count()
+            let c = cfg.router_coord(r);
+            (1..=4).filter(|&p| topology::has_link(cfg, c, p)).count() * lanes
         })
         .sum();
 
@@ -226,21 +233,24 @@ pub(super) fn run(v: &Verifier<'_>) -> VerifyReport {
 }
 
 /// Add the extended escape dependencies for one destination: for each
-/// escape channel `(r, p)`, every escape channel reachable from `step(r,p)`
-/// through zero or more adaptive channels is a dependency target.
+/// escape channel `(r, p, lane)`, every escape channel reachable from
+/// `step(r, p)` through zero or more adaptive channels is a dependency
+/// target.
+#[allow(clippy::too_many_arguments)]
 fn extend_escape_edges(
     cfg: &SimConfig,
     dst_idx: usize,
     order: &[usize],
     adap: &[[Option<Port>; 2]],
-    esc: &[Option<Port>],
+    esc: &[Option<(Port, u8)>],
     words: usize,
+    lanes: usize,
     adj: &mut [BTreeSet<u32>],
 ) {
     // closure[r] = bitset of routers reachable from r via adaptive channels
     // (including r itself), never entering the destination. Processed in
-    // increasing hop order so successors are already final.
-    let mut closure = vec![0u64; words * cfg.num_nodes()];
+    // increasing distance order so successors are already final.
+    let mut closure = vec![0u64; words * cfg.num_routers()];
     for &r in order {
         if r == dst_idx {
             continue;
@@ -248,7 +258,7 @@ fn extend_escape_edges(
         let base = r * words;
         closure[base + (r >> 6)] |= 1 << (r & 63);
         for p in adap[r].into_iter().flatten() {
-            let r2 = cfg.node_at(step(cfg.coord_of(r as NodeId), p)) as usize;
+            let r2 = cfg.router_at(topology::step(cfg, cfg.router_coord(r), p));
             if r2 == dst_idx {
                 continue;
             }
@@ -260,20 +270,20 @@ fn extend_escape_edges(
         }
     }
     for (r, &e) in esc.iter().enumerate() {
-        let Some(p) = e else { continue };
-        let r2 = cfg.node_at(step(cfg.coord_of(r as NodeId), p)) as usize;
+        let Some((p, lane)) = e else { continue };
+        let r2 = cfg.router_at(topology::step(cfg, cfg.router_coord(r), p));
         if r2 == dst_idx {
             continue;
         }
-        let src = chan(r, p) as u32;
+        let src = chan(lanes, r, p, lane as usize) as u32;
         let b2 = r2 * words;
         for w in 0..words {
             let mut bits = closure[b2 + w];
             while bits != 0 {
                 let r3 = (w << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                if let Some(p3) = esc[r3] {
-                    adj[src as usize].insert(chan(r3, p3) as u32);
+                if let Some((p3, lane3)) = esc[r3] {
+                    adj[src as usize].insert(chan(lanes, r3, p3, lane3 as usize) as u32);
                 }
             }
         }
@@ -281,21 +291,22 @@ fn extend_escape_edges(
 }
 
 /// Add the direct adaptive-to-adaptive dependencies for one destination
-/// (escape-disabled analysis).
+/// (escape-disabled analysis; lane dimension unused — lane 0 throughout).
 fn direct_adaptive_edges(
     cfg: &SimConfig,
     dst_idx: usize,
     adap: &[[Option<Port>; 2]],
+    lanes: usize,
     adj: &mut [BTreeSet<u32>],
 ) {
     for (r, ports) in adap.iter().enumerate() {
         for p in ports.iter().flatten() {
-            let r2 = cfg.node_at(step(cfg.coord_of(r as NodeId), *p)) as usize;
+            let r2 = cfg.router_at(topology::step(cfg, cfg.router_coord(r), *p));
             if r2 == dst_idx {
                 continue;
             }
             for p2 in adap[r2].into_iter().flatten() {
-                adj[chan(r, *p)].insert(chan(r2, p2) as u32);
+                adj[chan(lanes, r, *p, 0)].insert(chan(lanes, r2, p2, 0) as u32);
             }
         }
     }

@@ -5,11 +5,11 @@ use super::cdg::Violations;
 use super::{Verifier, Witness};
 use crate::config::SimConfig;
 use crate::ids::{NodeId, Port};
-use crate::routing::step;
+use crate::topology;
 
 /// Check one destination. `adap`/`esc` hold the already-validated usable
-/// hops per router (minimal, in-bounds, link-filtered); `order` lists
-/// routers in increasing hop distance from the destination, so a single
+/// hops per router (minimal, linked, link-filtered); `order` lists routers
+/// in increasing topology distance from the destination, so a single
 /// dynamic-programming pass settles reachability (every usable hop moves
 /// strictly closer). Pair-filtered-out holders are exempt.
 pub(super) fn check_dst(
@@ -18,10 +18,10 @@ pub(super) fn check_dst(
     dst_idx: usize,
     order: &[usize],
     adap: &[[Option<Port>; 2]],
-    esc: &[Option<Port>],
+    esc: &[Option<(Port, u8)>],
     vio: &mut Violations,
 ) {
-    let mut reach = vec![false; cfg.num_nodes()];
+    let mut reach = vec![false; cfg.num_routers()];
     reach[dst_idx] = true;
     // Detour mode: the escape function may be non-minimal, so settle
     // escape reachability first by resolving each escape chain (functional
@@ -33,11 +33,11 @@ pub(super) fn check_dst(
         if r == dst_idx || !v.pair_usable(r as NodeId, dst_idx as NodeId) {
             continue;
         }
-        let cur = cfg.coord_of(r as NodeId);
-        let hop_ok = |p: Port| reach[cfg.node_at(step(cur, p)) as usize];
+        let cur = cfg.router_coord(r);
+        let hop_ok = |p: Port| reach[cfg.router_at(topology::step(cfg, cur, p))];
         let via_escape = match &esc_reach {
             Some(er) => er[r],
-            None => esc[r].is_some_and(hop_ok),
+            None => esc[r].is_some_and(|(p, _)| hop_ok(p)),
         };
         reach[r] = adap[r].into_iter().flatten().any(hop_ok) || via_escape;
         if !reach[r] {
@@ -58,8 +58,8 @@ pub(super) fn check_dst(
 /// the verdict over the whole walked path. A chain that dead-ends
 /// (`None`), leaves the admitted set, or revisits a router (cycle) never
 /// reaches the destination.
-fn escape_chain_reach(cfg: &SimConfig, dst_idx: usize, esc: &[Option<Port>]) -> Vec<bool> {
-    let n = cfg.num_nodes();
+fn escape_chain_reach(cfg: &SimConfig, dst_idx: usize, esc: &[Option<(Port, u8)>]) -> Vec<bool> {
+    let n = cfg.num_routers();
     // 0 = unknown, 1 = reaches, 2 = does not.
     let mut state = vec![0u8; n];
     state[dst_idx] = 1;
@@ -79,7 +79,7 @@ fn escape_chain_reach(cfg: &SimConfig, dst_idx: usize, esc: &[Option<Port>]) -> 
             }
             path.push(c);
             match esc[c] {
-                Some(p) => c = cfg.node_at(step(cfg.coord_of(c as NodeId), p)) as usize,
+                Some((p, _)) => c = cfg.router_at(topology::step(cfg, cfg.router_coord(c), p)),
                 None => break 2,
             }
         };

@@ -102,12 +102,15 @@ pub enum ChannelClass {
 }
 
 /// One channel node of the dependency graph: an output port's VC class at
-/// a router — `(router, port, VC-class)`.
+/// a router — `(router, port, VC-class, dateline lane)`. The lane is
+/// always 0 on non-wrapping topologies; on torus/ring each escape class
+/// splits into the two dateline lanes (see [`crate::topology`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ChannelId {
     pub router: NodeId,
     pub port: Port,
     pub class: ChannelClass,
+    pub lane: u8,
 }
 
 impl fmt::Display for ChannelId {
@@ -120,6 +123,9 @@ impl fmt::Display for ChannelId {
             _ => "?",
         };
         match self.class {
+            ChannelClass::Escape(c) if self.lane > 0 => {
+                write!(f, "r{}:{p}:esc{c}@{}", self.router, self.lane)
+            }
             ChannelClass::Escape(c) => write!(f, "r{}:{p}:esc{c}", self.router),
             ChannelClass::Adaptive => write!(f, "r{}:{p}:adp", self.router),
         }

@@ -19,11 +19,16 @@
 //! disables the corresponding output link. [`ConnectivityBits::from_region`]
 //! derives the bit pattern confining each application inside its region;
 //! [`ConnectivityBits::check_consistency`] is the static sanity pass the
-//! configuration verifier runs (mesh-edge bits cleared, link symmetry).
+//! configuration verifier runs (bits cleared where the topology has no
+//! link, link symmetry). Adjacency comes from [`noc_sim::topology`], so
+//! the bits generalize to torus/ring wrap links and concentrated meshes
+//! (one bit vector per *router*; concentrated nodes share their router's
+//! bits, and region maps are constant within a router by construction).
 
 use noc_sim::config::SimConfig;
 use noc_sim::ids::{NodeId, Port, PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
 use noc_sim::region::RegionMap;
+use noc_sim::topology;
 
 /// Binomial coefficient C(n, k) in exact 128-bit arithmetic.
 pub fn binomial(n: u64, k: u64) -> u128 {
@@ -116,23 +121,25 @@ pub fn max_regions(num_mcs: usize) -> usize {
 }
 
 /// Per-router LBDR connectivity bits: `Cn/Ce/Cs/Cw` of router `r` say
-/// whether the output link in that direction is usable. A mesh edge always
-/// clears the bit; region confinement clears every cross-region link.
+/// whether the output link in that direction is usable. A missing link
+/// (grid boundary on a non-wrapping topology) always clears the bit;
+/// region confinement clears every cross-region link.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConnectivityBits {
     width: u8,
     height: u8,
-    /// `bits[node][port - 1]` for the mesh ports N/E/S/W (1..=4).
+    /// `bits[router][port - 1]` for the grid ports N/E/S/W (1..=4).
     bits: Vec<[bool; 4]>,
 }
 
 impl ConnectivityBits {
     fn new_with(cfg: &SimConfig, f: impl Fn(NodeId, Port) -> bool) -> Self {
-        let bits = (0..cfg.num_nodes())
+        let bits = (0..cfg.num_routers())
             .map(|r| {
+                let here = cfg.router_coord(r);
                 let mut b = [false; 4];
                 for p in [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST] {
-                    b[p - 1] = in_bounds(cfg, r as NodeId, p) && f(r as NodeId, p);
+                    b[p - 1] = topology::has_link(cfg, here, p) && f(r as NodeId, p);
                 }
                 b
             })
@@ -144,34 +151,39 @@ impl ConnectivityBits {
         }
     }
 
-    /// All in-bounds links usable (an unconfined mesh).
+    /// All existing links usable (an unconfined network).
     pub fn full(cfg: &SimConfig) -> Self {
         Self::new_with(cfg, |_, _| true)
     }
 
-    /// The confinement pattern of a region map: the link out of `r` is
-    /// usable iff the neighbor belongs to the same region.
+    /// The confinement pattern of a region map: the link out of router `r`
+    /// is usable iff the neighbor router belongs to the same region. Region
+    /// membership of a router is that of its base node (on a concentrated
+    /// mesh, region maps are constant within a router).
     pub fn from_region(cfg: &SimConfig, region: &RegionMap) -> Self {
         Self::new_with(cfg, |r, p| {
-            region.app_of(r) == region.app_of(neighbor(cfg, r, p))
+            let here = cfg.router_coord(r as usize);
+            region.app_of(cfg.node_at(here))
+                == region.app_of(cfg.node_at(topology::step(cfg, here, p)))
         })
     }
 
-    /// Is the output link of `node` through mesh port `port` usable?
-    pub fn usable(&self, node: NodeId, port: Port) -> bool {
-        (1..=4).contains(&port) && self.bits[node as usize][port - 1]
+    /// Is the output link of `router` through grid port `port` usable?
+    pub fn usable(&self, router: NodeId, port: Port) -> bool {
+        (1..=4).contains(&port) && self.bits[router as usize][port - 1]
     }
 
     /// Clear one directional bit — deliberately *without* touching the
     /// neighbor's opposite bit, producing the asymmetric (inconsistent)
     /// pattern the negative tests feed to [`Self::check_consistency`].
-    pub fn sever(&mut self, node: NodeId, port: Port) {
-        self.bits[node as usize][port - 1] = false;
+    pub fn sever(&mut self, router: NodeId, port: Port) {
+        self.bits[router as usize][port - 1] = false;
     }
 
     /// Static consistency of the bit pattern:
     ///
-    /// 1. mesh-edge bits must be cleared (no link exists to enable), and
+    /// 1. bits must be cleared where the topology has no link (grid edges
+    ///    on non-wrapping topologies — there is nothing to enable), and
     /// 2. bits must be symmetric — `Ce(r)` set iff `Cw(east(r))` set, and
     ///    likewise for every direction; an asymmetric pair describes a
     ///    half-duplex link no LBDR configuration can realize.
@@ -180,23 +192,27 @@ impl ConnectivityBits {
     pub fn check_consistency(&self, cfg: &SimConfig) -> Vec<String> {
         let mut errs = Vec::new();
         for r in 0..self.bits.len() {
+            let here = cfg.router_coord(r);
             for p in [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST] {
                 let set = self.bits[r][p - 1];
-                if !in_bounds(cfg, r as NodeId, p) {
+                if !topology::has_link(cfg, here, p) {
                     if set {
                         errs.push(format!(
-                            "router {r}: connectivity bit for port {p} set at a mesh edge"
+                            "router {r}: connectivity bit for port {p} set where the \
+                             topology has no link"
                         ));
                     }
                     continue;
                 }
-                // Each physical link is checked once, from its west/north
-                // endpoint, so one asymmetric pair yields one message.
+                // Each physical link is checked once from one endpoint:
+                // every undirected X link is some router's EAST edge and
+                // every Y link some router's SOUTH edge (also on wrapping
+                // topologies), so one asymmetric pair yields one message.
                 if p == PORT_NORTH || p == PORT_WEST {
                     continue;
                 }
-                let n = neighbor(cfg, r as NodeId, p);
-                let back = self.bits[n as usize][noc_sim::ids::opposite(p) - 1];
+                let n = topology::neighbor_router(cfg, r, p);
+                let back = self.bits[n][noc_sim::ids::opposite(p) - 1];
                 if set != back {
                     errs.push(format!(
                         "asymmetric link r{r} <-> r{n}: bit {} vs reverse bit {}",
@@ -207,21 +223,6 @@ impl ConnectivityBits {
         }
         errs
     }
-}
-
-fn in_bounds(cfg: &SimConfig, r: NodeId, p: Port) -> bool {
-    let c = cfg.coord_of(r);
-    match p {
-        PORT_NORTH => c.y > 0,
-        PORT_SOUTH => (c.y as usize) < cfg.height as usize - 1,
-        PORT_EAST => (c.x as usize) < cfg.width as usize - 1,
-        PORT_WEST => c.x > 0,
-        _ => false,
-    }
-}
-
-fn neighbor(cfg: &SimConfig, r: NodeId, p: Port) -> NodeId {
-    cfg.node_at(noc_sim::routing::step(cfg.coord_of(r), p))
 }
 
 #[cfg(test)]

@@ -93,9 +93,13 @@ pub fn verify_lbdr(
     routing: &dyn RoutingAlgorithm,
 ) -> VerifyReport {
     let bits = ConnectivityBits::from_region(cfg, region);
+    // The verifier hands the filters *router* indices; region membership is
+    // per node, so map a router to its base node (region maps are constant
+    // within a router on a concentrated mesh).
+    let c = cfg.concentration() as u16;
     Verifier::new(cfg, routing)
         .with_link_filter(move |r, p| bits.usable(r, p))
-        .with_pair_filter(|r, d| region.app_of(r) == region.app_of(d))
+        .with_pair_filter(move |r, d| region.app_of(r * c) == region.app_of(d * c))
         .run()
 }
 

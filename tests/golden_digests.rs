@@ -63,7 +63,10 @@ fn cases() -> Vec<(&'static str, Scheme, Routing, f64, f64, f64)> {
 }
 
 fn run_case(scheme: &Scheme, routing: Routing, p: f64, r0: f64, r1: f64) -> u64 {
-    let cfg = SimConfig::table1();
+    run_case_on(SimConfig::table1(), scheme, routing, p, r0, r1)
+}
+
+fn run_case_on(cfg: SimConfig, scheme: &Scheme, routing: Routing, p: f64, r0: f64, r1: f64) -> u64 {
     let (region, scenario) = two_app(&cfg, p, r0, r1);
     let mut net = Network::new(
         cfg,
@@ -83,12 +86,11 @@ fn golden_path(name: &str) -> PathBuf {
         .join(format!("{name}.digest"))
 }
 
-#[test]
-fn golden_digests_match() {
+fn check_goldens(results: Vec<(&'static str, u64)>) {
     let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
     let mut mismatches = Vec::new();
-    for (name, scheme, routing, p, r0, r1) in cases() {
-        let digest = format!("{:016x}", run_case(&scheme, routing, p, r0, r1));
+    for (name, digest) in results {
+        let digest = format!("{digest:016x}");
         let path = golden_path(name);
         if update {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -108,4 +110,44 @@ fn golden_digests_match() {
         "golden digest mismatch (intentional change? rerun with UPDATE_GOLDEN=1 and review):\n  {}",
         mismatches.join("\n  ")
     );
+}
+
+#[test]
+fn golden_digests_match() {
+    check_goldens(
+        cases()
+            .into_iter()
+            .map(|(name, scheme, routing, p, r0, r1)| (name, run_case(&scheme, routing, p, r0, r1)))
+            .collect(),
+    );
+}
+
+/// One canonical configuration per non-mesh topology
+/// ([`SimConfig::table1_topology`]): RAIR over Duato-adaptive routing on
+/// the two-halves scenario. The mesh goldens above are untouched by the
+/// topology abstraction (the mesh is digest-transparent), which
+/// `golden_digests_match` enforces separately.
+#[test]
+fn golden_topology_digests_match() {
+    let results = [
+        TopologyKind::Torus,
+        TopologyKind::Ring,
+        TopologyKind::CMesh { concentration: 4 },
+    ]
+    .into_iter()
+    .map(|kind| {
+        let name = match kind {
+            TopologyKind::Torus => "topology_torus_rair_local_p50",
+            TopologyKind::Ring => "topology_ring_rair_local_p50",
+            TopologyKind::CMesh { .. } => "topology_cmesh4_rair_local_p50",
+            TopologyKind::Mesh => unreachable!(),
+        };
+        let cfg = SimConfig::table1_topology(kind);
+        (
+            name,
+            run_case_on(cfg, &Scheme::rair(), Routing::Local, 0.5, 0.04, 0.15),
+        )
+    })
+    .collect();
+    check_goldens(results);
 }

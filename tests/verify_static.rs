@@ -22,13 +22,13 @@ impl RoutingAlgorithm for MixedDor {
     fn name(&self) -> &'static str {
         "MixedDOR-test"
     }
-    fn adaptive_ports(&self, _cur: Coord, _dst: Coord) -> [Option<Port>; 2] {
+    fn adaptive_ports(&self, _cfg: &SimConfig, _cur: Coord, _dst: Coord) -> [Option<Port>; 2] {
         [None, None]
     }
     fn select(&self, _ctx: &SelectCtx<'_>, _cands: &[Port]) -> usize {
         0
     }
-    fn next_hops(&self, cur: Coord, dst: Coord) -> NextHops {
+    fn next_hops(&self, _cfg: &SimConfig, cur: Coord, dst: Coord) -> NextHops {
         let escape = if (dst.x + dst.y).is_multiple_of(2) {
             escape_port(cur, dst)
         } else if dst.y > cur.y {
@@ -43,6 +43,7 @@ impl RoutingAlgorithm for MixedDor {
         NextHops {
             adaptive: [None, None],
             escape,
+            escape_lane: 0,
         }
     }
 }
@@ -67,6 +68,39 @@ fn escape_vcs_disabled_yields_a_cycle_witness() {
     assert!(cycle.len() >= 4, "cycle too short: {cycle:?}");
     let distinct: std::collections::BTreeSet<_> = cycle.iter().collect();
     assert_eq!(distinct.len(), cycle.len(), "repeated channel: {cycle:?}");
+}
+
+#[test]
+fn torus_without_datelines_yields_a_wrap_cycle_witness() {
+    // The torus negative case behind `repro verify-config --topology torus
+    // --inject-cyclic`: correct minimal dimension-order escape, but every
+    // packet pinned to dateline lane 0 — the wraparound link closes the
+    // lane-0 channel ring and the verifier must extract that cycle.
+    let case = experiments::verify_config::torus_no_dateline_case();
+    assert!(case.rejected, "no-dateline torus escape was not rejected");
+    assert!(!case.witness.is_empty(), "no witness extracted");
+
+    let cfg = SimConfig::table1_topology(TopologyKind::Torus);
+    let report = Verifier::new(&cfg, &experiments::verify_config::NoDatelineEscape).run();
+    assert!(!report.ok());
+    let cycle = report
+        .violations
+        .iter()
+        .find_map(|v| match &v.witness {
+            Witness::Cycle(c) => Some(c.clone()),
+            _ => None,
+        })
+        .expect("expected a concrete cycle witness");
+    // The deadlock lives on the un-switched lane: every channel in the
+    // witness is a lane-0 escape channel.
+    assert!(cycle.len() >= 3, "cycle too short: {cycle:?}");
+    assert!(
+        cycle.iter().all(|ch| ch.lane == 0),
+        "cycle must stay on lane 0: {cycle:?}"
+    );
+    // Sanity: the properly datelined escape on the same config is clean.
+    let clean = Verifier::new(&cfg, &DuatoLocalAdaptive).run();
+    assert!(clean.ok(), "{:?}", clean.violations.first());
 }
 
 #[test]
