@@ -17,6 +17,7 @@ pub fn bench_config() -> ExpConfig {
         seed: 0xBE7C4,
         quick: true,
         cycle_budget: None,
+        prune: false,
     }
 }
 

@@ -18,9 +18,9 @@ use experiments::runner::ExpConfig;
 use metrics::Table;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--inject-cyclic] \
+const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--prune] [--inject-cyclic] \
 [--topology mesh|torus|ring|cmesh[:N]] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|bench-model|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
@@ -37,6 +37,7 @@ fn main() -> ExitCode {
             "--quick" => {
                 ec = ExpConfig {
                     seed: ec.seed,
+                    prune: ec.prune,
                     ..ExpConfig::quick()
                 };
             }
@@ -48,12 +49,17 @@ fn main() -> ExitCode {
                 }
             },
             "--csv" => csv = true,
+            // Opt-in: curve points the analytical model classifies as
+            // deep-saturated or trivially stable get shortened
+            // confirmation runs (default digests are untouched).
+            "--prune" => ec.prune = true,
             // CI-sized: quick windows plus a reduced matrix for the
             // experiments that support it (currently `resilience`).
             "--smoke" => {
                 smoke = true;
                 ec = ExpConfig {
                     seed: ec.seed,
+                    prune: ec.prune,
                     ..ExpConfig::quick()
                 };
             }
@@ -262,6 +268,27 @@ fn main() -> ExitCode {
                 eprintln!(
                     "[repro] wrote {} bench rows to BENCH_kernel.json",
                     rows.len()
+                );
+            }
+            "bench-model" => {
+                let b = experiments::bench_model::run(&ec);
+                emit(&experiments::bench_model::sat_table(&b));
+                emit(&experiments::bench_model::lat_table(&b));
+                let (mean, max, max_cfg) = b.sat_error();
+                let (wp, cp) = b.table1_probes();
+                println!(
+                    "model saturation error: mean |rel| {mean:.3}, max |rel| {max:.3} \
+                     ({max_cfg}); Table-1 probes warm/cold {wp}/{cp}; \
+                     sweep prune speedup {:.2}x ({} points shortened)\n",
+                    b.sweep_full_secs / b.sweep_pruned_secs.max(1e-9),
+                    b.sweep_pruned_points
+                );
+                let json = experiments::bench_model::to_json(&b);
+                std::fs::write("BENCH_model.json", &json).expect("write BENCH_model.json");
+                eprintln!(
+                    "[repro] wrote {} saturation + {} latency rows to BENCH_model.json",
+                    b.sat.len(),
+                    b.lat.len()
                 );
             }
             "bench-parallel" => {

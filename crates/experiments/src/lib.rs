@@ -12,6 +12,7 @@
 //! ```
 
 pub mod bench_kernel;
+pub mod bench_model;
 pub mod bench_parallel;
 pub mod figs;
 pub mod runner;

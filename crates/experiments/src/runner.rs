@@ -44,6 +44,11 @@ pub struct ExpConfig {
     /// clamped to fit). The cycle-domain analogue of a per-config timeout;
     /// `None` means unbounded.
     pub cycle_budget: Option<u64>,
+    /// Opt-in sweep pruning (`repro --prune`): curve points the analytical
+    /// model classifies as deep-in-saturation or trivially stable run with
+    /// shortened windows (a confirmation run) instead of full-length ones.
+    /// Off by default so default digests are untouched.
+    pub prune: bool,
 }
 
 impl ExpConfig {
@@ -55,6 +60,7 @@ impl ExpConfig {
             seed: 0xC0FFEE,
             quick: false,
             cycle_budget: None,
+            prune: false,
         }
     }
 
@@ -66,6 +72,7 @@ impl ExpConfig {
             seed: 0xC0FFEE,
             quick: true,
             cycle_budget: None,
+            prune: false,
         }
     }
 
@@ -600,6 +607,7 @@ mod tests {
             seed: 0,
             quick: true,
             cycle_budget: None,
+            prune: false,
         };
         let r = run_one("probe", tiny_net(1), &cfg);
         assert_eq!(r.delivered, 1);
@@ -664,6 +672,7 @@ mod tests {
             seed: 0,
             quick: true,
             cycle_budget: None,
+            prune: false,
         };
         let mk = |i: usize| -> Job {
             Job::new(format!("job{i}"), move || {
@@ -688,6 +697,7 @@ mod tests {
             seed: 0,
             quick: true,
             cycle_budget: None,
+            prune: false,
         };
         let mut jobs = Vec::new();
         for i in 0..4 {
@@ -780,6 +790,7 @@ mod tests {
             seed: 0,
             quick: true,
             cycle_budget: None,
+            prune: false,
         };
         let bounded = run_one("bounded", tiny_net(1), &cfg.with_budget(2_500));
         assert_eq!(bounded.cycles, 2_500, "budget must clamp simulated cycles");

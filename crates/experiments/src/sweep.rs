@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use traffic::saturation::{app_saturation, SaturationProbe};
+use traffic::saturation::{app_saturation_traced, SaturationProbe, WarmOutcome};
 use traffic::scenario::AppSpec;
 
 /// Build a network from the scheme/routing matrix plus a traffic source.
@@ -85,24 +85,57 @@ pub enum SatLookup {
     MemHit,
     /// Loaded from the persistent disk cache.
     DiskHit,
-    /// Measured by a fresh binary search.
+    /// Measured by a model-warm-started binary search whose bracket
+    /// verified against the simulator (bit-identical to a cold search,
+    /// at a fraction of the simulations).
+    Warmed,
+    /// Measured by a cold binary search (no model hint, or the hint was
+    /// rejected by bracket verification).
     Searched,
 }
 
-/// Cumulative lookup counters, in `(mem_hits, disk_hits, searches)` order.
+/// Cumulative lookup counters.
 static MEM_HITS: AtomicU64 = AtomicU64::new(0);
 static DISK_HITS: AtomicU64 = AtomicU64::new(0);
-static SEARCHES: AtomicU64 = AtomicU64::new(0);
+static WARMED_SEARCHES: AtomicU64 = AtomicU64::new(0);
+static COLD_SEARCHES: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide saturation-cache counters: `(mem_hits, disk_hits,
-/// searches)` since startup.
-pub fn saturation_cache_stats() -> (u64, u64, u64) {
+/// warmed_searches, cold_searches)` since startup.
+pub fn saturation_cache_stats() -> (u64, u64, u64, u64) {
     (
         MEM_HITS.load(Ordering::Relaxed),
         DISK_HITS.load(Ordering::Relaxed),
-        SEARCHES.load(Ordering::Relaxed),
+        WARMED_SEARCHES.load(Ordering::Relaxed),
+        COLD_SEARCHES.load(Ordering::Relaxed),
     )
 }
+
+/// A saturation search that produced no usable load (collapsed to zero or
+/// a non-finite value). Raised as a structured error so the panic-safe
+/// runner turns one degenerate configuration into a reported job failure
+/// instead of aborting the whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationError {
+    /// The caller-supplied diagnostic label of the search.
+    pub label: String,
+    /// The application whose saturation was being measured.
+    pub app: u8,
+    /// The degenerate measured value.
+    pub load: f64,
+}
+
+impl std::fmt::Display for SaturationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "saturation search collapsed to {} for {} (app {})",
+            self.load, self.label, self.app
+        )
+    }
+}
+
+impl std::error::Error for SaturationError {}
 
 /// Canonical cache key: a collision-resistant digest folded over every
 /// parameter the measured saturation load depends on. Unlike the earlier
@@ -172,19 +205,33 @@ fn disk_write(key: u64, value: f64, label: &str) {
     }
 }
 
+/// Is model warm-starting of saturation searches disabled? The
+/// `RAIR_COLD_SAT` kill switch (any non-empty value but `0`) forces every
+/// search cold — warm and cold return bit-identical loads, so this only
+/// matters for probe-count comparisons and distrust of the model.
+fn cold_searches_forced() -> bool {
+    std::env::var("RAIR_COLD_SAT").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Saturation load of application `app` running alone with traffic mix
 /// `spec` on `region` (round-robin arbitration, local adaptive routing),
 /// plus where the value came from. `label` is used only in diagnostics and
 /// the on-disk comment line; the cache key is derived from the parameters
 /// themselves.
-pub fn cached_saturation_traced(
+///
+/// On a cache miss the binary search is warm-started from the analytical
+/// model's prediction ([`model::warm_hint`]); the warm protocol verifies
+/// its bracket against the simulator and falls back to the cold path when
+/// rejected, so the returned load is bit-identical either way (cache
+/// contents and golden digests do not depend on the model).
+pub fn try_cached_saturation_traced(
     label: &str,
     ec: &ExpConfig,
     cfg: &SimConfig,
     region: &RegionMap,
     app: u8,
     spec: &AppSpec,
-) -> (f64, SatLookup) {
+) -> Result<(f64, SatLookup), SaturationError> {
     let probe = if ec.quick {
         SaturationProbe::quick()
     } else {
@@ -193,19 +240,65 @@ pub fn cached_saturation_traced(
     let key = sat_digest(&probe, cfg, region, app, spec);
     if let Some(&v) = sat_cache().lock().unwrap().map.get(&key) {
         MEM_HITS.fetch_add(1, Ordering::Relaxed);
-        return (v, SatLookup::MemHit);
+        return Ok((v, SatLookup::MemHit));
     }
     if let Some(v) = disk_read(key) {
         DISK_HITS.fetch_add(1, Ordering::Relaxed);
         sat_cache().lock().unwrap().insert(key, v);
-        return (v, SatLookup::DiskHit);
+        return Ok((v, SatLookup::DiskHit));
     }
-    SEARCHES.fetch_add(1, Ordering::Relaxed);
-    let sat = app_saturation(&probe, cfg, region, app, spec, || Routing::Local.build());
-    assert!(sat > 0.0, "saturation search collapsed to zero for {label}");
+    let warm = if cold_searches_forced() {
+        None
+    } else {
+        model::warm_hint(cfg, region, app, spec, model::RoutingKind::Adaptive)
+    };
+    let out = app_saturation_traced(&probe, cfg, region, app, spec, warm, || {
+        Routing::Local.build()
+    });
+    let lookup = if out.warm == WarmOutcome::Accepted {
+        WARMED_SEARCHES.fetch_add(1, Ordering::Relaxed);
+        SatLookup::Warmed
+    } else {
+        COLD_SEARCHES.fetch_add(1, Ordering::Relaxed);
+        SatLookup::Searched
+    };
+    let sat = validate_sat(label, app, out.load)?;
     sat_cache().lock().unwrap().insert(key, sat);
     disk_write(key, sat, label);
-    (sat, SatLookup::Searched)
+    Ok((sat, lookup))
+}
+
+/// Reject a degenerate measured load (zero, negative, NaN, ∞) with the
+/// structured error; a search can collapse to zero when even the smallest
+/// probed rate is unstable (e.g. a mis-specified region with no eject
+/// capacity).
+fn validate_sat(label: &str, app: u8, sat: f64) -> Result<f64, SaturationError> {
+    if sat > 0.0 && sat.is_finite() {
+        Ok(sat)
+    } else {
+        Err(SaturationError {
+            label: label.to_string(),
+            app,
+            load: sat,
+        })
+    }
+}
+
+/// [`try_cached_saturation_traced`], panicking on a degenerate search with
+/// the structured error's message. Figure drivers run inside the
+/// panic-safe parallel runner, which downcasts string payloads — so a
+/// degenerate configuration surfaces as one failed job with the label in
+/// its message, not a sweep abort.
+pub fn cached_saturation_traced(
+    label: &str,
+    ec: &ExpConfig,
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: u8,
+    spec: &AppSpec,
+) -> (f64, SatLookup) {
+    try_cached_saturation_traced(label, ec, cfg, region, app, spec)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`cached_saturation_traced`] without the provenance (the common case for
@@ -233,6 +326,7 @@ pub fn clear_saturation_cache() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::Job;
     use noc_sim::source::NoTraffic;
     use traffic::scenario::InterDest;
 
@@ -268,6 +362,68 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_loads_become_structured_errors() {
+        assert_eq!(validate_sat("lbl", 0, 0.375).unwrap(), 0.375);
+        for bad in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+            let e = validate_sat("fig9/halves", 1, bad).unwrap_err();
+            assert_eq!(e.label, "fig9/halves");
+            assert_eq!(e.app, 1);
+            let msg = e.to_string();
+            assert!(
+                msg.contains("collapsed") && msg.contains("fig9/halves"),
+                "{msg}"
+            );
+        }
+    }
+
+    /// A degenerate saturation search inside a sweep job surfaces as one
+    /// labeled `JobError` carrying the structured message, while sibling
+    /// jobs run to completion — the sweep does not abort. The failing job
+    /// panics exactly the way [`cached_saturation_traced`] does on
+    /// [`validate_sat`]'s error.
+    #[test]
+    fn saturation_error_is_survived_by_the_sweep_runner() {
+        let healthy = || {
+            let cfg = SimConfig::table1();
+            let region = RegionMap::single(&cfg);
+            let net = build_network(
+                &cfg,
+                &region,
+                &Scheme::RoRr,
+                Routing::Local,
+                Box::new(NoTraffic),
+                7,
+            );
+            let ec = ExpConfig {
+                warmup: 50,
+                measure: 100,
+                ..ExpConfig::quick()
+            };
+            crate::runner::run_one("healthy", net, &ec)
+        };
+        let jobs = vec![
+            Job::new("ok/before", healthy),
+            Job::new("fig9/degenerate", || {
+                let e = validate_sat("fig9/degenerate", 2, 0.0).unwrap_err();
+                panic!("{e}")
+            }),
+            Job::new("ok/after", healthy),
+        ];
+        let results = crate::runner::run_parallel_results(jobs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().label, "healthy");
+        assert_eq!(results[2].as_ref().unwrap().label, "healthy");
+        let err = results[1].as_ref().unwrap_err();
+        assert_eq!(err.label, "fig9/degenerate");
+        assert!(
+            err.message.contains("saturation search collapsed to 0")
+                && err.message.contains("app 2"),
+            "structured message lost: {}",
+            err.message
+        );
+    }
+
+    #[test]
     fn build_network_wires_scheme_and_routing() {
         let cfg = SimConfig::table1();
         let region = RegionMap::single(&cfg);
@@ -292,9 +448,14 @@ mod tests {
         let region = RegionMap::halves(&cfg);
         let ec = ExpConfig::quick();
         let spec = AppSpec::intra_only(0.0);
-        // Cold start: one real binary search, persisted to disk.
+        // Cold start: one real binary search (model-warmed or cold — warm
+        // acceptance is bit-identical, so either outcome yields the same
+        // load), persisted to disk.
         let (a, la) = cached_saturation_traced("test/halves0", &ec, &cfg, &region, 0, &spec);
-        assert_eq!(la, SatLookup::Searched);
+        assert!(
+            matches!(la, SatLookup::Warmed | SatLookup::Searched),
+            "{la:?}"
+        );
         assert!(a > 0.05 && a < 1.0, "saturation {a}");
         // Same parameters under a different label: in-memory hit, identical
         // value.

@@ -1,0 +1,880 @@
+//! Closed-form priority-class performance model for regionalized NoCs.
+//!
+//! Following the M/G/1-priority approach of Mandal et al. ("Analytical
+//! Performance Models for NoCs with Multiple Priority Traffic Classes"),
+//! specialized to this repository's simulator: RAIR's native/foreign split
+//! maps onto a two-class non-preemptive priority queue at every shared
+//! channel.
+//!
+//! The model works in three analytic stages, no simulation anywhere:
+//!
+//! 1. **Flow enumeration** — every `(src, dst)` pair an [`AppSpec`]'s
+//!    traffic mix can generate, with its exact packet rate and packet-size
+//!    moments (the scenario's 50/50 short/long request mix; long-packet MC
+//!    replies on the reverse path). Distributions are enumerated from the
+//!    same rules [`traffic::scenario::Scenario::new`] draws from, so the
+//!    offered matrix matches the simulator in expectation.
+//! 2. **Link loads** — each flow is spread over its minimal-route lattice
+//!    (wrap-aware chosen minimal directions via
+//!    [`noc_sim::topology::productive_ports`], so torus/ring/cmesh are
+//!    handled uniformly): dimension-order takes the single X-then-Y walk,
+//!    adaptive routing is approximated as a uniform draw over all minimal
+//!    paths with closed-form binomial crossing probabilities per channel.
+//!    Per directed channel the model accumulates, separately for traffic
+//!    that is *native* vs *foreign* at that channel's upstream router:
+//!    packet rate `λ`, utilization `ρ = λ·E[S]` and residual work
+//!    `λ·E[S²]/2`.
+//! 3. **Queueing** — per-channel waiting times from the two-class
+//!    non-preemptive M/G/1 priority formulas ([`mg1_priority_wait`]), and
+//!    the saturation point as the offered load where the busiest channel's
+//!    utilization reaches [`SATURATION_EFFICIENCY`] (an empirical derating
+//!    of the unit-capacity bound, calibrated against the simulator: flow
+//!    control, turn restrictions and finite VC depth keep real channels
+//!    from reaching utilization 1).
+//!
+//! The saturation predictor is the warm-start hint for
+//! [`traffic::saturation::find_saturation_traced`]; the latency predictor
+//! backs the sweep-pruning heuristic and the cross-validation suite.
+
+use noc_sim::config::SimConfig;
+use noc_sim::ids::{AppId, NodeId};
+use noc_sim::region::RegionMap;
+use noc_sim::topology::{productive_ports, step};
+use traffic::pattern::Pattern;
+use traffic::saturation::WarmStart;
+use traffic::scenario::{AppSpec, InterDest, AVG_PACKET_FLITS};
+
+use std::collections::BTreeMap;
+
+/// Derating of the unit-capacity bound on mesh-family topologies
+/// (mesh, concentrated mesh): predicted saturation is the offered load
+/// where the busiest channel reaches this utilization. Calibrated against
+/// measured saturation loads on the Table-1 matrix (see
+/// `repro bench-model`); flow control, turn restrictions and finite VC
+/// depth keep real channels from reaching utilization 1.
+pub const SATURATION_EFFICIENCY: f64 = 0.75;
+
+/// Channel-efficiency derating on the torus: the dateline VC restriction
+/// halves the effective VC budget near the wrap crossing, so tori
+/// saturate well below the mesh-calibrated efficiency.
+pub const TORUS_EFFICIENCY: f64 = 0.60;
+
+/// Channel-efficiency derating on the ring (1-D torus): the single-path
+/// route keeps head-of-line blocking milder than on the 2-D torus, but the
+/// dateline restriction still costs relative to the mesh.
+pub const RING_EFFICIENCY: f64 = 0.78;
+
+/// Efficiency of a node's dedicated injection/ejection port: with no
+/// cross-traffic interference a dedicated port sustains utilization close
+/// to 1 before backpressure bites (unlike shared router-router channels).
+pub const IO_EFFICIENCY: f64 = 0.90;
+
+/// The calibrated channel efficiency for `cfg`'s topology.
+pub fn saturation_efficiency(cfg: &SimConfig) -> f64 {
+    use noc_sim::topology::TopologyKind;
+    match cfg.topology {
+        TopologyKind::Mesh | TopologyKind::CMesh { .. } => SATURATION_EFFICIENCY,
+        TopologyKind::Torus => TORUS_EFFICIENCY,
+        TopologyKind::Ring => RING_EFFICIENCY,
+    }
+}
+
+/// The calibrated efficiency of one channel: dedicated per-node I/O ports
+/// run at [`IO_EFFICIENCY`]; everything shared (router-router channels,
+/// and concentrated-mesh ejection ports serving several nodes) at the
+/// topology's [`saturation_efficiency`].
+fn link_efficiency(cfg: &SimConfig, link: Link) -> f64 {
+    match link {
+        Link::Inject(_) => IO_EFFICIENCY,
+        Link::Eject(_) if cfg.concentration() == 1 => IO_EFFICIENCY,
+        _ => saturation_efficiency(cfg),
+    }
+}
+
+/// Cycles a head flit spends in each router pipeline at zero load
+/// (route computation + VC allocation + switch traversal).
+pub const ROUTER_LATENCY: f64 = 3.0;
+
+/// Cycles per inter-router link traversal.
+pub const LINK_LATENCY: f64 = 1.0;
+
+/// Relative half-width of the warm-start confidence band, as a fraction of
+/// the predicted load; [`warm_hint`] clamps the absolute margin to
+/// [`MIN_WARM_MARGIN`]..=[`MAX_WARM_MARGIN`]. Sized so the calibrated
+/// error band of the Table-1 configs fits inside the margin (the search
+/// then accepts the hint) while the margin stays below one level-3
+/// bisection cell — keeping the number of simulated in-band midpoints at
+/// ~4, half of a cold search's 8.
+pub const WARM_MARGIN_FRAC: f64 = 0.10;
+/// Absolute floor of the warm-start margin (flits/cycle/node).
+pub const MIN_WARM_MARGIN: f64 = 0.035;
+/// Absolute ceiling of the warm-start margin (flits/cycle/node).
+pub const MAX_WARM_MARGIN: f64 = 0.06;
+
+/// How the model routes flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Deterministic dimension-order (XY; wrap-aware minimal directions on
+    /// torus/ring).
+    DimensionOrder,
+    /// Minimal adaptive, approximated as a uniform draw over all minimal
+    /// paths (binomial crossing probabilities on the route lattice).
+    Adaptive,
+}
+
+/// Which traffic class gets head-of-line priority at shared channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityMode {
+    /// Single-class FIFO service (round-robin-style schemes).
+    None,
+    /// Native traffic preempts foreign at each channel (RAIR default).
+    NativeHigh,
+    /// Foreign traffic preempts native (the inverted ablation).
+    ForeignHigh,
+}
+
+/// A directed contention point in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Link {
+    /// The injection channel of one node's network interface.
+    Inject(NodeId),
+    /// The directed router-to-router channel `from → to` (router indices).
+    Hop(u32, u32),
+    /// A router's ejection channel (shared by all `concentration` nodes).
+    Eject(u32),
+}
+
+/// One `(src, dst)` traffic component with its packet rate (packets per
+/// cycle) and service-time moments (flits; 1 flit/cycle channels make
+/// service cycles equal packet flits).
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    pkt_rate: f64,
+    mean: f64,
+    m2: f64,
+    app: AppId,
+}
+
+/// Per-channel load accumulator, split by the native/foreign class of the
+/// traffic at this channel (`[0] = native, [1] = foreign`).
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkLoad {
+    /// Utilization `Σ λ·E[S]` (flits/cycle).
+    rho: [f64; 2],
+    /// Residual work `Σ λ·E[S²]/2` (the M/G/1 numerator).
+    resid: [f64; 2],
+}
+
+// ------------------------------------------------------------------------
+// Stage 1: flow enumeration
+// ------------------------------------------------------------------------
+
+/// Destination probabilities of one pattern from `src`, mirroring
+/// [`Pattern::dest`]. The returned weights sum to ≤ 1; missing mass is the
+/// probability that `dest` returns `None` (transpose diagonal, singleton
+/// sets).
+fn pattern_distribution(cfg: &SimConfig, p: &Pattern, src: NodeId) -> Vec<(NodeId, f64)> {
+    let n = cfg.num_nodes() as NodeId;
+    let uniform_excluding = |set: &[NodeId]| -> Vec<(NodeId, f64)> {
+        let targets: Vec<NodeId> = set.iter().copied().filter(|&d| d != src).collect();
+        let q = 1.0 / targets.len() as f64;
+        targets.into_iter().map(|d| (d, q)).collect()
+    };
+    match p {
+        Pattern::UniformRandom => uniform_excluding(&(0..n).collect::<Vec<_>>()),
+        Pattern::UniformWithin(set) => uniform_excluding(set),
+        Pattern::UniformOutside(set) => {
+            let outside: Vec<NodeId> = (0..n).filter(|d| !set.contains(d)).collect();
+            uniform_excluding(&outside)
+        }
+        Pattern::Transpose => {
+            let c = cfg.coord_of(src);
+            if c.x == c.y || cfg.width != cfg.height {
+                return Vec::new();
+            }
+            vec![(cfg.node_at(noc_sim::ids::Coord { x: c.y, y: c.x }), 1.0)]
+        }
+        Pattern::BitComplement => {
+            let d = n - 1 - src;
+            if d == src {
+                Vec::new()
+            } else {
+                vec![(d, 1.0)]
+            }
+        }
+        Pattern::Hotspot { spots, bias } => {
+            let mut acc: BTreeMap<NodeId, f64> = BTreeMap::new();
+            for (d, q) in uniform_excluding(spots) {
+                *acc.entry(d).or_default() += bias * q;
+            }
+            for (d, q) in pattern_distribution(cfg, &Pattern::UniformRandom, src) {
+                *acc.entry(d).or_default() += (1.0 - bias) * q;
+            }
+            acc.into_iter().collect()
+        }
+    }
+}
+
+/// Destination distribution of one application's packets from `src`:
+/// `(dst, probability, is_mc_request)` triples summing to ≤ 1 (mass lost to
+/// undefined destinations is dropped, exactly as the scenario drops those
+/// draws).
+fn dest_distribution(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: AppId,
+    spec: &AppSpec,
+    src: NodeId,
+) -> Vec<(NodeId, f64, bool)> {
+    let mut acc: BTreeMap<(NodeId, bool), f64> = BTreeMap::new();
+    let own = region.nodes_of(app);
+    let mut add = |dst: NodeId, q: f64, mc: bool| {
+        if q > 0.0 {
+            *acc.entry((dst, mc)).or_default() += q;
+        }
+    };
+    if spec.intra > 0.0 {
+        for (d, q) in pattern_distribution(cfg, &Pattern::UniformWithin(own.clone()), src) {
+            add(d, spec.intra * q, false);
+        }
+    }
+    if spec.inter > 0.0 {
+        let outside = Pattern::UniformOutside(own.clone());
+        let dist = match &spec.inter_dest {
+            InterDest::OutsideUniform => pattern_distribution(cfg, &outside, src),
+            InterDest::Region(target) => {
+                pattern_distribution(cfg, &Pattern::UniformWithin(region.nodes_of(*target)), src)
+            }
+            InterDest::Pattern(p) => {
+                let d = pattern_distribution(cfg, p, src);
+                // The scenario redirects draws whose pattern destination is
+                // undefined to outside-uniform; mirror that for the
+                // missing mass.
+                let covered: f64 = d.iter().map(|(_, q)| q).sum();
+                let mut d = d;
+                if covered < 1.0 - 1e-12 {
+                    for (dst, q) in pattern_distribution(cfg, &outside, src) {
+                        d.push((dst, (1.0 - covered) * q));
+                    }
+                }
+                d
+            }
+        };
+        for (d, q) in dist {
+            add(d, spec.inter * q, false);
+        }
+    }
+    if spec.mc > 0.0 {
+        // Uniform over the four corners; a draw of the source itself is
+        // remapped to the next corner in array order (scenario rule).
+        let corners = cfg.corners();
+        for (i, &c) in corners.iter().enumerate() {
+            let dst = if c == src { corners[(i + 1) % 4] } else { c };
+            add(dst, spec.mc * 0.25, true);
+        }
+    }
+    acc.into_iter().map(|((d, mc), q)| (d, q, mc)).collect()
+}
+
+/// Enumerate every flow application `app` offers under `spec` (requests
+/// plus MC reply packets on the reverse path).
+fn app_flows(cfg: &SimConfig, region: &RegionMap, app: AppId, spec: &AppSpec, out: &mut Vec<Flow>) {
+    if spec.rate_flits <= 0.0 {
+        return;
+    }
+    let pkt_rate = spec.rate_flits / AVG_PACKET_FLITS;
+    let long = f64::from(cfg.long_flits);
+    // 50/50 short/long request mix.
+    let req_mean = 0.5 * (1.0 + long);
+    let req_m2 = 0.5 * (1.0 + long * long);
+    for src in region.nodes_of(app) {
+        for (dst, q, is_mc) in dest_distribution(cfg, region, app, spec, src) {
+            out.push(Flow {
+                src,
+                dst,
+                pkt_rate: pkt_rate * q,
+                mean: req_mean,
+                m2: req_m2,
+                app,
+            });
+            if is_mc {
+                // The corner answers every MC request with one long packet.
+                out.push(Flow {
+                    src: dst,
+                    dst: src,
+                    pkt_rate: pkt_rate * q,
+                    mean: long,
+                    m2: long * long,
+                    app,
+                });
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Stage 2: routes and link loads
+// ------------------------------------------------------------------------
+
+/// Binomial coefficient as f64 (path counts on the minimal-path lattice;
+/// radix-bounded, so well inside exact-f64 territory).
+fn binom(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut r = 1.0;
+    for i in 0..k {
+        r = r * (n - k + 1 + i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// The coordinate sequence of the chosen minimal direction along one
+/// dimension (`dim` 0 = X, 1 = Y), from `from` toward `to` — wrap-aware
+/// through [`productive_ports`], so torus/ring dateline direction choices
+/// match the simulator's.
+fn axis_seq(
+    cfg: &SimConfig,
+    from: noc_sim::ids::Coord,
+    to: noc_sim::ids::Coord,
+    dim: usize,
+) -> Vec<u8> {
+    let mut cur = from;
+    let target = if dim == 0 {
+        noc_sim::ids::Coord { x: to.x, y: from.y }
+    } else {
+        noc_sim::ids::Coord { x: from.x, y: to.y }
+    };
+    let mut seq = vec![if dim == 0 { cur.x } else { cur.y }];
+    while let Some(p) = productive_ports(cfg, cur, target)[dim] {
+        cur = step(cfg, cur, p);
+        seq.push(if dim == 0 { cur.x } else { cur.y });
+    }
+    seq
+}
+
+/// How one flow's load is spread over its minimal-route lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteStyle {
+    /// The single X-then-Y dimension-order walk.
+    Dor,
+    /// Uniform draw over all minimal paths (binomial crossing weights).
+    Spread,
+    /// 50/50 over the X-first and Y-first walks (the two lattice
+    /// boundaries) — the concentrated extreme of minimal adaptivity.
+    Mix,
+}
+
+impl RoutingKind {
+    /// The route style used for expected-value quantities (loads, waits).
+    fn style(self) -> RouteStyle {
+        match self {
+            RoutingKind::DimensionOrder => RouteStyle::Dor,
+            RoutingKind::Adaptive => RouteStyle::Spread,
+        }
+    }
+}
+
+/// The channels a `src → dst` packet crosses, with their crossing
+/// probabilities (summing to 1 per lattice stage).
+///
+/// Minimal routes form an `a × b` lattice over the chosen minimal
+/// directions (`a` X-steps, `b` Y-steps). Under `Spread` the fraction of
+/// the `C(a+b, a)` minimal paths crossing the X-channel leaving lattice
+/// point `(i, j)` is `C(i+j, i) · C(a-1-i + b-j, a-1-i) / C(a+b, a)`,
+/// and symmetrically for Y-channels.
+fn route_distribution(
+    cfg: &SimConfig,
+    src: NodeId,
+    dst: NodeId,
+    style: RouteStyle,
+    out: &mut Vec<(Link, f64)>,
+) {
+    out.push((Link::Inject(src), 1.0));
+    let (rs, rd) = (cfg.router_of(src), cfg.router_of(dst));
+    let (sc, dc) = (cfg.router_coord(rs), cfg.router_coord(rd));
+    let xs = axis_seq(cfg, sc, dc, 0);
+    let ys = axis_seq(cfg, sc, dc, 1);
+    let (a, b) = (xs.len() - 1, ys.len() - 1);
+    let r_at = |x: u8, y: u8| cfg.router_at(noc_sim::ids::Coord { x, y }) as u32;
+    match style {
+        RouteStyle::Dor => {
+            for i in 0..a {
+                out.push((Link::Hop(r_at(xs[i], ys[0]), r_at(xs[i + 1], ys[0])), 1.0));
+            }
+            for j in 0..b {
+                out.push((Link::Hop(r_at(xs[a], ys[j]), r_at(xs[a], ys[j + 1])), 1.0));
+            }
+        }
+        RouteStyle::Mix => {
+            // X-first boundary walk…
+            for i in 0..a {
+                out.push((Link::Hop(r_at(xs[i], ys[0]), r_at(xs[i + 1], ys[0])), 0.5));
+            }
+            for j in 0..b {
+                out.push((Link::Hop(r_at(xs[a], ys[j]), r_at(xs[a], ys[j + 1])), 0.5));
+            }
+            // …and the Y-first one.
+            for j in 0..b {
+                out.push((Link::Hop(r_at(xs[0], ys[j]), r_at(xs[0], ys[j + 1])), 0.5));
+            }
+            for i in 0..a {
+                out.push((Link::Hop(r_at(xs[i], ys[b]), r_at(xs[i + 1], ys[b])), 0.5));
+            }
+        }
+        RouteStyle::Spread => {
+            let total = binom(a + b, a);
+            for i in 0..a {
+                for (j, &yj) in ys.iter().enumerate() {
+                    let w = binom(i + j, i) * binom(a - 1 - i + b - j, a - 1 - i) / total;
+                    out.push((Link::Hop(r_at(xs[i], yj), r_at(xs[i + 1], yj)), w));
+                }
+            }
+            for j in 0..b {
+                for (i, &xi) in xs.iter().enumerate() {
+                    let w = binom(i + j, j) * binom(a - i + b - 1 - j, b - 1 - j) / total;
+                    out.push((Link::Hop(r_at(xi, ys[j]), r_at(xi, ys[j + 1])), w));
+                }
+            }
+        }
+    }
+    out.push((Link::Eject(rd as u32), 1.0));
+}
+
+/// Is `flow` native traffic at `link` (the upstream router's region tag
+/// matches the flow's application)?
+fn native_at(cfg: &SimConfig, region: &RegionMap, link: Link, app: AppId) -> bool {
+    let tag_node = match link {
+        Link::Inject(n) => n,
+        Link::Hop(from, _) => (from as usize * cfg.concentration()) as NodeId,
+        Link::Eject(r) => (r as usize * cfg.concentration()) as NodeId,
+    };
+    region.is_native(tag_node, app)
+}
+
+/// Accumulate every flow's load onto its channels.
+fn link_loads(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    flows: &[Flow],
+    style: RouteStyle,
+) -> BTreeMap<Link, LinkLoad> {
+    let mut loads: BTreeMap<Link, LinkLoad> = BTreeMap::new();
+    let mut route = Vec::new();
+    for f in flows {
+        route.clear();
+        route_distribution(cfg, f.src, f.dst, style, &mut route);
+        for &(link, w) in &route {
+            let cls = usize::from(!native_at(cfg, region, link, f.app));
+            let e = loads.entry(link).or_default();
+            let lam = w * f.pkt_rate;
+            e.rho[cls] += lam * f.mean;
+            e.resid[cls] += lam * f.m2 / 2.0;
+        }
+    }
+    loads
+}
+
+// ------------------------------------------------------------------------
+// Stage 3: queueing
+// ------------------------------------------------------------------------
+
+/// Mean waiting time of one class in a two-class non-preemptive M/G/1
+/// priority queue: `resid` is the total residual work `Σ λ·E[S²]/2` over
+/// both classes, `rho_high`/`rho_total` the high-class and total
+/// utilizations. `high` selects the class. Returns `f64::INFINITY` at or
+/// beyond saturation of the serving channel.
+pub fn mg1_priority_wait(resid: f64, rho_high: f64, rho_total: f64, high: bool) -> f64 {
+    const EPS: f64 = 1e-9;
+    if high {
+        if rho_high >= 1.0 - EPS {
+            return f64::INFINITY;
+        }
+        resid / (1.0 - rho_high)
+    } else {
+        if rho_high >= 1.0 - EPS || rho_total >= 1.0 - EPS {
+            return f64::INFINITY;
+        }
+        resid / ((1.0 - rho_high) * (1.0 - rho_total))
+    }
+}
+
+/// Waiting time of `flow`-class traffic at one loaded channel under `mode`.
+fn wait_at(load: &LinkLoad, native: bool, mode: PriorityMode) -> f64 {
+    let resid = load.resid[0] + load.resid[1];
+    let total = load.rho[0] + load.rho[1];
+    match mode {
+        // Single class: rho_high = 0 reduces the low-class formula to the
+        // plain Pollaczek-Khinchine mean wait R/(1-ρ).
+        PriorityMode::None => mg1_priority_wait(resid, 0.0, total, false),
+        PriorityMode::NativeHigh => mg1_priority_wait(resid, load.rho[0], total, native),
+        PriorityMode::ForeignHigh => mg1_priority_wait(resid, load.rho[1], total, !native),
+    }
+}
+
+// ------------------------------------------------------------------------
+// Public predictions
+// ------------------------------------------------------------------------
+
+/// A saturation prediction with its bottleneck diagnosis.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationPrediction {
+    /// Predicted saturation load (flits/cycle/node over the app's nodes).
+    pub load: f64,
+    /// Flit rate of the bottleneck channel at unit offered load; `load`
+    /// is the bottleneck's calibrated efficiency over `channel_load`.
+    pub channel_load: f64,
+    /// The channel that saturates first.
+    pub bottleneck: Link,
+}
+
+/// Predict the saturation load of `app` running alone with mix `spec`
+/// (the operating point [`traffic::saturation::app_saturation`] measures):
+/// the offered load at which the busiest channel's utilization reaches
+/// [`saturation_efficiency`]. `None` when the spec generates no traffic.
+pub fn predict_app_saturation(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: AppId,
+    spec: &AppSpec,
+    routing: RoutingKind,
+) -> Option<SaturationPrediction> {
+    let unit = AppSpec {
+        rate_flits: 1.0,
+        ..spec.clone()
+    };
+    let mut flows = Vec::new();
+    app_flows(cfg, region, app, &unit, &mut flows);
+    if flows.is_empty() {
+        return None;
+    }
+    let loads = link_loads(cfg, region, &flows, routing.style());
+    // Adaptive routing steers by local congestion between two oblivious
+    // extremes: uniform path sampling (which bulges load into the lattice
+    // center) and the deterministic XY/YX boundary pair (which piles load
+    // onto corners). Congestion avoidance relieves whichever is locally
+    // worse, so estimate each channel's achievable load as the pointwise
+    // minimum of the two maps. Dimension-order is exact.
+    let mix = (routing == RoutingKind::Adaptive)
+        .then(|| link_loads(cfg, region, &flows, RouteStyle::Mix));
+    let est = |l: &Link, load: &LinkLoad| -> f64 {
+        let spread = load.rho[0] + load.rho[1];
+        match &mix {
+            Some(m) => m.get(l).map_or(0.0, |ml| ml.rho[0] + ml.rho[1]).min(spread),
+            None => spread,
+        }
+    };
+    // The bottleneck is the channel whose calibrated capacity is exhausted
+    // first: minimize efficiency/load, i.e. maximize load/efficiency.
+    let (bottleneck, channel_load) =
+        loads
+            .iter()
+            .map(|(l, load)| (*l, est(l, load)))
+            .max_by(|a, b| {
+                (a.1 / link_efficiency(cfg, a.0)).total_cmp(&(b.1 / link_efficiency(cfg, b.0)))
+            })?;
+    if channel_load <= 0.0 {
+        return None;
+    }
+    Some(SaturationPrediction {
+        load: link_efficiency(cfg, bottleneck) / channel_load,
+        channel_load,
+        bottleneck,
+    })
+}
+
+/// The model's warm-start hint for a saturation search of `app` alone
+/// under `spec`: the predicted load with a confidence margin wide enough
+/// to absorb the model's calibrated error band. `None` when the model has
+/// no prediction (the search then runs cold).
+pub fn warm_hint(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: AppId,
+    spec: &AppSpec,
+    routing: RoutingKind,
+) -> Option<WarmStart> {
+    let pred = predict_app_saturation(cfg, region, app, spec, routing)?;
+    let margin = (pred.load * WARM_MARGIN_FRAC).clamp(MIN_WARM_MARGIN, MAX_WARM_MARGIN);
+    Some(WarmStart {
+        predicted: pred.load,
+        margin,
+    })
+}
+
+/// Predicted mean packet latency per application (cycles, injection to
+/// ejection) for the multi-application operating point `specs` under
+/// `routing` and priority `mode`. `per_app[a]` is `None` for silent
+/// applications and `Some(f64::INFINITY)` when any channel on the
+/// application's routes is saturated.
+pub fn predict_latencies(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    specs: &[Option<AppSpec>],
+    routing: RoutingKind,
+    mode: PriorityMode,
+) -> Vec<Option<f64>> {
+    assert_eq!(specs.len(), region.num_apps());
+    let mut flows = Vec::new();
+    for (a, spec) in specs.iter().enumerate() {
+        if let Some(s) = spec {
+            app_flows(cfg, region, a as AppId, s, &mut flows);
+        }
+    }
+    let loads = link_loads(cfg, region, &flows, routing.style());
+    let mut lat_sum = vec![0.0_f64; specs.len()];
+    let mut rate_sum = vec![0.0_f64; specs.len()];
+    let mut route = Vec::new();
+    for f in &flows {
+        route.clear();
+        route_distribution(cfg, f.src, f.dst, routing.style(), &mut route);
+        // Every minimal route has the same hop count; the adaptive split
+        // only redistributes which channels are crossed.
+        let hops: f64 = route
+            .iter()
+            .filter(|(l, _)| matches!(l, Link::Hop(_, _)))
+            .map(|&(_, w)| w)
+            .sum();
+        // Zero-load pipeline: every router on the path (hops + the
+        // ejecting router) plus link traversals plus serialization of
+        // the body flits; then the expected queueing wait at each
+        // channel, weighted by the probability of crossing it.
+        let mut lat = (hops + 1.0) * ROUTER_LATENCY + hops * LINK_LATENCY + (f.mean - 1.0);
+        for &(link, w) in &route {
+            let load = &loads[&link];
+            lat += w * wait_at(load, native_at(cfg, region, link, f.app), mode);
+        }
+        lat_sum[f.app as usize] += f.pkt_rate * lat;
+        rate_sum[f.app as usize] += f.pkt_rate;
+    }
+    lat_sum
+        .iter()
+        .zip(&rate_sum)
+        .map(|(&l, &r)| (r > 0.0).then(|| l / r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::table1()
+    }
+
+    #[test]
+    fn pattern_distributions_sum_to_one_or_less() {
+        let c = cfg();
+        let n = c.num_nodes() as NodeId;
+        for p in [
+            Pattern::UniformRandom,
+            Pattern::Transpose,
+            Pattern::BitComplement,
+            Pattern::UniformWithin((0..32).collect()),
+            Pattern::UniformOutside((0..32).collect()),
+            Pattern::Hotspot {
+                spots: Pattern::center_hotspots(&c),
+                bias: 0.7,
+            },
+        ] {
+            for src in 0..n {
+                let d = pattern_distribution(&c, &p, src);
+                let total: f64 = d.iter().map(|(_, q)| q).sum();
+                assert!(total <= 1.0 + 1e-9, "{p:?} from {src}: {total}");
+                assert!(d.iter().all(|&(dst, q)| dst != src && q > 0.0));
+                // Only the transpose diagonal loses mass.
+                if !matches!(p, Pattern::Transpose) {
+                    assert!((total - 1.0).abs() < 1e-9, "{p:?} from {src}: {total}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dest_distribution_mirrors_scenario_mix() {
+        let c = cfg();
+        let region = RegionMap::six_regions(&c);
+        let spec = AppSpec {
+            rate_flits: 0.3,
+            intra: 0.75,
+            inter: 0.20,
+            inter_dest: InterDest::OutsideUniform,
+            mc: 0.05,
+        };
+        let d = dest_distribution(&c, &region, 0, &spec, 0);
+        let total: f64 = d.iter().map(|(_, q, _)| q).sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        let mc: f64 = d.iter().filter(|(_, _, m)| *m).map(|(_, q, _)| q).sum();
+        assert!((mc - 0.05).abs() < 1e-9, "mc mass {mc}");
+        // Node 0 is a corner: its own-corner MC draw remaps elsewhere.
+        assert!(d.iter().all(|&(dst, _, _)| dst != 0));
+    }
+
+    #[test]
+    fn flows_conserve_offered_packets() {
+        let c = cfg();
+        let region = RegionMap::halves(&c);
+        let spec = AppSpec::intra_only(0.3);
+        let mut flows = Vec::new();
+        app_flows(&c, &region, 0, &spec, &mut flows);
+        let pkts: f64 = flows.iter().map(|f| f.pkt_rate).sum();
+        let expect = 32.0 * 0.3 / AVG_PACKET_FLITS;
+        assert!((pkts - expect).abs() < 1e-9, "{pkts} vs {expect}");
+        assert!(flows
+            .iter()
+            .all(|f| region.app_of(f.src) == 0 && region.app_of(f.dst) == 0));
+    }
+
+    #[test]
+    fn route_distributions_are_minimal_and_conserve_flow() {
+        let c = cfg();
+        for (src, dst) in [(0u16, 63u16), (7, 56), (10, 10), (3, 4)] {
+            let d = noc_sim::topology::distance(&c, c.coord_of(src), c.coord_of(dst));
+            for style in [RouteStyle::Dor, RouteStyle::Spread, RouteStyle::Mix] {
+                let mut route = Vec::new();
+                route_distribution(&c, src, dst, style, &mut route);
+                assert_eq!(route[0], (Link::Inject(src), 1.0));
+                assert_eq!(
+                    *route.last().unwrap(),
+                    (Link::Eject(c.router_of(dst) as u32), 1.0)
+                );
+                // The expected hop count equals the topological distance:
+                // crossing probabilities over each lattice stage sum to 1,
+                // so hop weights total exactly `d`.
+                let hops: f64 = route
+                    .iter()
+                    .filter(|(l, _)| matches!(l, Link::Hop(_, _)))
+                    .map(|&(_, w)| w)
+                    .sum();
+                assert!((hops - f64::from(d)).abs() < 1e-9, "{src}->{dst} {style:?}");
+                assert!(route.iter().all(|&(_, w)| w > 0.0 && w <= 1.0 + 1e-12));
+            }
+        }
+        // Dimension-order is a single walk: every weight is exactly 1.
+        let mut route = Vec::new();
+        route_distribution(&c, 0, 63, RouteStyle::Dor, &mut route);
+        assert!(route.iter().all(|&(_, w)| w == 1.0));
+    }
+
+    #[test]
+    fn mg1_waits_are_ordered_and_blow_up() {
+        // High class never waits longer than low; both grow with load.
+        let resid = 1.3;
+        let (rho_h, rho_l) = (0.4, 0.3);
+        let wh = mg1_priority_wait(resid, rho_h, rho_h + rho_l, true);
+        let wl = mg1_priority_wait(resid, rho_h, rho_h + rho_l, false);
+        assert!(wh > 0.0 && wl > wh, "wh={wh} wl={wl}");
+        // Single-class (P-K) lies between the two priority classes.
+        let w = mg1_priority_wait(resid, 0.0, rho_h + rho_l, false);
+        assert!(wh < w && w < wl);
+        // Saturated channels return infinity rather than negative waits.
+        assert!(mg1_priority_wait(resid, 1.0, 1.0, true).is_infinite());
+        assert!(mg1_priority_wait(resid, 0.2, 1.0, false).is_infinite());
+    }
+
+    #[test]
+    fn saturation_prediction_plausible_on_halves() {
+        let c = cfg();
+        let region = RegionMap::halves(&c);
+        let p = predict_app_saturation(
+            &c,
+            &region,
+            0,
+            &AppSpec::intra_only(0.0),
+            RoutingKind::Adaptive,
+        )
+        .unwrap();
+        assert!(
+            p.load > 0.15 && p.load < 0.9,
+            "implausible prediction {p:?}"
+        );
+        // The bottleneck of intra-half UR is a router-to-router channel,
+        // not an injection port.
+        assert!(matches!(p.bottleneck, Link::Hop(_, _)), "{p:?}");
+    }
+
+    #[test]
+    fn adaptive_never_loads_bottleneck_more_than_dor() {
+        let c = cfg();
+        let region = RegionMap::halves(&c);
+        let spec = AppSpec::intra_only(0.0);
+        let dor = predict_app_saturation(&c, &region, 0, &spec, RoutingKind::DimensionOrder)
+            .unwrap()
+            .channel_load;
+        let ada = predict_app_saturation(&c, &region, 0, &spec, RoutingKind::Adaptive)
+            .unwrap()
+            .channel_load;
+        assert!(ada <= dor + 1e-9, "adaptive {ada} vs dor {dor}");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_load_and_prioritizes_native() {
+        let c = cfg();
+        let region = RegionMap::halves(&c);
+        // App 0 sends 40% of its traffic into app 1's region; app 1 idles
+        // at a low intra load. Foreign traffic crosses app 1's channels.
+        let specs_at = |rate: f64| {
+            vec![
+                Some(AppSpec::with_inter(rate, 0.4, InterDest::Region(1))),
+                Some(AppSpec::intra_only(0.05)),
+            ]
+        };
+        let mut prev = 0.0;
+        for rate in [0.05, 0.15, 0.25, 0.35] {
+            let lat = predict_latencies(
+                &c,
+                &region,
+                &specs_at(rate),
+                RoutingKind::Adaptive,
+                PriorityMode::None,
+            );
+            let l0 = lat[0].unwrap();
+            assert!(l0 >= prev, "latency not monotone at {rate}: {l0} < {prev}");
+            prev = l0;
+        }
+        // Under native-high priority, app 1 (native everywhere it travels)
+        // beats its own single-class latency; the invader pays.
+        let specs = specs_at(0.3);
+        let none = predict_latencies(
+            &c,
+            &region,
+            &specs,
+            RoutingKind::Adaptive,
+            PriorityMode::None,
+        );
+        let native = predict_latencies(
+            &c,
+            &region,
+            &specs,
+            RoutingKind::Adaptive,
+            PriorityMode::NativeHigh,
+        );
+        assert!(native[1].unwrap() <= none[1].unwrap() + 1e-9);
+        assert!(native[0].unwrap() >= none[0].unwrap() - 1e-9);
+        // Silent app slots predict no latency.
+        let lat = predict_latencies(
+            &c,
+            &region,
+            &[Some(AppSpec::intra_only(0.2)), None],
+            RoutingKind::Adaptive,
+            PriorityMode::NativeHigh,
+        );
+        assert!(lat[0].is_some() && lat[1].is_none());
+    }
+
+    #[test]
+    fn warm_hint_margin_is_clamped() {
+        let c = cfg();
+        let region = RegionMap::halves(&c);
+        let h = warm_hint(
+            &c,
+            &region,
+            0,
+            &AppSpec::intra_only(0.0),
+            RoutingKind::Adaptive,
+        )
+        .unwrap();
+        assert!(h.margin >= MIN_WARM_MARGIN && h.margin <= MAX_WARM_MARGIN);
+        assert!(h.predicted > 0.0);
+    }
+}

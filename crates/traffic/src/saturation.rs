@@ -15,6 +15,7 @@ use noc_sim::ids::AppId;
 use noc_sim::network::Network;
 use noc_sim::region::RegionMap;
 use noc_sim::routing::RoutingAlgorithm;
+use std::collections::BTreeMap;
 
 /// Parameters for a saturation search.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +75,173 @@ impl SaturationProbe {
     }
 }
 
+/// A model-derived hint for warm-starting a saturation search.
+///
+/// `predicted` is where an analytical model expects the saturation load;
+/// `margin` is the half-width of its confidence band. The warm search
+/// replays the cold bisection's exact decision path, letting the model
+/// decide midpoints farther than `margin` from `predicted` and simulating
+/// the rest, then verifies the final bracket endpoints against the
+/// simulator — so an accepted warm search returns the bit-identical load
+/// the cold search would, in a fraction of the simulations.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart {
+    /// Predicted saturation load (same units as the search domain).
+    pub predicted: f64,
+    /// Confidence half-width around `predicted`.
+    pub margin: f64,
+}
+
+/// How a traced saturation search used its warm-start hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// No hint was supplied; the search ran cold.
+    NoHint,
+    /// The warm bracket verified against the simulator and was returned.
+    Accepted,
+    /// Endpoint verification failed; the search fell back to the cold
+    /// path (reusing every probe already simulated).
+    Rejected,
+}
+
+/// Result of a traced saturation search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOutcome {
+    /// The measured saturation load.
+    pub load: f64,
+    /// Full simulations executed, including the zero-load latency
+    /// reference (a cold full-probe search runs `iters + 2`).
+    pub simulations: u32,
+    /// Whether the warm-start hint was used.
+    pub warm: WarmOutcome,
+}
+
+/// Memoizing wrapper around the stability oracle: every rate is simulated
+/// at most once per search, so the warm phase, its endpoint verification
+/// and a possible cold fallback never repeat a probe.
+struct Prober<F> {
+    stable: F,
+    memo: BTreeMap<u64, bool>,
+    count: u32,
+}
+
+impl<F: FnMut(f64) -> bool> Prober<F> {
+    fn probe(&mut self, rate: f64) -> bool {
+        let bits = rate.to_bits();
+        if let Some(&v) = self.memo.get(&bits) {
+            return v;
+        }
+        let v = (self.stable)(rate);
+        self.count += 1;
+        self.memo.insert(bits, v);
+        v
+    }
+
+    /// Has any probe at or below `rate` already come back unstable?
+    /// Under the monotone-stability premise of the bisection this proves
+    /// `rate` itself unstable without another simulation.
+    fn proven_unstable_below(&self, rate: f64) -> bool {
+        self.memo
+            .iter()
+            .any(|(&bits, &stable)| !stable && f64::from_bits(bits) <= rate)
+    }
+}
+
+/// Replay the cold bisection's decision path using the model for
+/// out-of-margin midpoints, then verify the final bracket. Returns the
+/// verified load, or `None` when verification fails (caller falls back to
+/// the cold path, reusing `p`'s memo).
+///
+/// Bit-identity argument: the cold loop's midpoints are the exact dyadic
+/// subdivisions of `[0, max_rate]`, so both searches walk the same
+/// candidate grid. The warm loop's final `[lo, hi]` is one level-`iters`
+/// cell of that grid; verifying `lo` stable and `hi` unstable proves (under
+/// the same monotone-threshold premise the cold bisection rests on) that it
+/// is *the* cell containing the stability threshold — the one the cold
+/// search converges to — hence `lo` is the cold result, bit for bit.
+fn warm_search<F: FnMut(f64) -> bool>(
+    iters: u32,
+    max_rate: f64,
+    w: WarmStart,
+    p: &mut Prober<F>,
+) -> Option<f64> {
+    if !(w.predicted.is_finite() && w.margin.is_finite()) || w.margin <= 0.0 || w.predicted <= 0.0 {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0_f64, max_rate);
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let go_up = if (mid - w.predicted).abs() <= w.margin {
+            p.probe(mid)
+        } else {
+            mid <= w.predicted
+        };
+        if go_up {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Verify the upper edge. When the bracket never moved off max_rate the
+    // cold search would have started with its max_rate probe — replicate
+    // it, including the stable-at-max early return.
+    if hi >= max_rate {
+        if p.probe(max_rate) {
+            return Some(max_rate);
+        }
+    } else if p.probe(hi) {
+        return None;
+    }
+    // Verify the lower edge (0 needs no probe: the cold loop never probes
+    // its initial lo either).
+    if lo > 0.0 && !p.probe(lo) {
+        return None;
+    }
+    Some(lo)
+}
+
+/// Memo-aware bisection core shared by the cold and warm-started searches.
+/// `stable` must be a deterministic function of the rate. Returns the
+/// measured load, the number of `stable` evaluations and the warm-start
+/// outcome.
+pub fn bisect_saturation(
+    iters: u32,
+    max_rate: f64,
+    warm: Option<WarmStart>,
+    stable: impl FnMut(f64) -> bool,
+) -> (f64, u32, WarmOutcome) {
+    let mut p = Prober {
+        stable,
+        memo: BTreeMap::new(),
+        count: 0,
+    };
+    let outcome = match warm {
+        Some(w) => {
+            if let Some(load) = warm_search(iters, max_rate, w, &mut p) {
+                return (load, p.count, WarmOutcome::Accepted);
+            }
+            WarmOutcome::Rejected
+        }
+        None => WarmOutcome::NoHint,
+    };
+    // Establish that max_rate is unstable; if even max_rate is stable,
+    // return it. A rejected warm phase usually proved instability somewhere
+    // already — then the probe is skipped instead of re-simulated.
+    if !p.proven_unstable_below(max_rate) && p.probe(max_rate) {
+        return (max_rate, p.count, outcome);
+    }
+    let (mut lo, mut hi) = (0.0_f64, max_rate);
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if p.probe(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, p.count, outcome)
+}
+
 /// Generic saturation search: `build(rate)` constructs a fresh network
 /// offering `rate` flits/cycle/node over `active_nodes` nodes. Returns the
 /// highest stable rate found in `(0, max_rate]`.
@@ -81,8 +249,22 @@ pub fn find_saturation(
     probe: &SaturationProbe,
     active_nodes: usize,
     max_rate: f64,
-    mut build: impl FnMut(f64) -> Network,
+    build: impl FnMut(f64) -> Network,
 ) -> f64 {
+    find_saturation_traced(probe, active_nodes, max_rate, None, build).load
+}
+
+/// [`find_saturation`] with an optional model warm-start and full probe
+/// accounting. With `warm: None` the search is exactly the classic cold
+/// bisection; with a hint it returns the bit-identical load while
+/// simulating only in-margin midpoints plus the bracket verification.
+pub fn find_saturation_traced(
+    probe: &SaturationProbe,
+    active_nodes: usize,
+    max_rate: f64,
+    warm: Option<WarmStart>,
+    mut build: impl FnMut(f64) -> Network,
+) -> SearchOutcome {
     // Zero-load latency reference for the latency-knee criterion.
     let zero_load = {
         let mut net = build((0.02 * max_rate).max(1e-3));
@@ -92,7 +274,8 @@ pub fn find_saturation(
             .overall_mean(metrics::LatencyKind::Total)
             .unwrap_or(20.0)
     };
-    let stable = |net: &mut Network, rate: f64| -> bool {
+    let stable_at = |rate: f64| -> bool {
+        let mut net = build(rate);
         let total_cycles = probe.warmup + probe.measure;
         net.run_warmup_measure(probe.warmup, probe.measure.max(total_cycles - probe.warmup));
         let offered_packets = rate / AVG_PACKET_FLITS * active_nodes as f64 * total_cycles as f64;
@@ -104,25 +287,12 @@ pub fn find_saturation(
             .is_some_and(|l| l <= probe.latency_blowup * zero_load);
         backlog_ok && latency_ok
     };
-    let mut lo = 0.0_f64;
-    let mut hi = max_rate;
-    // Establish that hi is unstable; if even max_rate is stable, return it.
-    {
-        let mut net = build(hi);
-        if stable(&mut net, hi) {
-            return hi;
-        }
+    let (load, probes, warm) = bisect_saturation(probe.iters, max_rate, warm, stable_at);
+    SearchOutcome {
+        load,
+        simulations: probes + 1,
+        warm,
     }
-    for _ in 0..probe.iters {
-        let mid = 0.5 * (lo + hi);
-        let mut net = build(mid);
-        if stable(&mut net, mid) {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    lo
 }
 
 /// Saturation load of one application running *alone* with its configured
@@ -137,9 +307,23 @@ pub fn app_saturation(
     spec: &AppSpec,
     routing: impl Fn() -> Box<dyn RoutingAlgorithm>,
 ) -> f64 {
+    app_saturation_traced(probe, cfg, region, app, spec, None, routing).load
+}
+
+/// [`app_saturation`] with an optional model warm-start and probe
+/// accounting.
+pub fn app_saturation_traced(
+    probe: &SaturationProbe,
+    cfg: &SimConfig,
+    region: &RegionMap,
+    app: AppId,
+    spec: &AppSpec,
+    warm: Option<WarmStart>,
+    routing: impl Fn() -> Box<dyn RoutingAlgorithm>,
+) -> SearchOutcome {
     let active = region.nodes_of(app).len();
     assert!(active > 0, "app {app} has no nodes");
-    find_saturation(probe, active, 1.0, |rate| {
+    find_saturation_traced(probe, active, 1.0, warm, |rate| {
         let mut specs: Vec<Option<AppSpec>> = vec![None; region.num_apps()];
         specs[app as usize] = Some(AppSpec {
             rate_flits: rate,
@@ -175,6 +359,159 @@ mod tests {
             (0.1..0.95).contains(&sat),
             "implausible saturation load {sat}"
         );
+    }
+
+    /// A recording threshold oracle: stable strictly below `t`.
+    fn recording_oracle(
+        t: f64,
+        probed: &std::cell::RefCell<Vec<f64>>,
+    ) -> impl FnMut(f64) -> bool + '_ {
+        move |r: f64| {
+            probed.borrow_mut().push(r);
+            r < t
+        }
+    }
+
+    #[test]
+    fn warm_search_bit_identical_on_synthetic_thresholds() {
+        for t in [0.0005, 0.0773, 0.31, 0.375, 0.5, 0.74, 0.991, 1.2] {
+            for iters in [5u32, 7] {
+                let cold_probes = std::cell::RefCell::new(Vec::new());
+                let (cold, cold_n, oc) =
+                    bisect_saturation(iters, 1.0, None, recording_oracle(t, &cold_probes));
+                assert_eq!(oc, WarmOutcome::NoHint);
+                for err in [-0.04, -0.01, 0.0, 0.02, 0.045] {
+                    let warm = WarmStart {
+                        predicted: t + err,
+                        margin: 0.05,
+                    };
+                    if warm.predicted <= 0.0 {
+                        // Nonsensical hint: ignored, search runs cold.
+                        let (load, n, oc) = bisect_saturation(iters, 1.0, Some(warm), |r| r < t);
+                        assert_eq!(load.to_bits(), cold.to_bits());
+                        assert_eq!((n, oc), (cold_n, WarmOutcome::Rejected));
+                        continue;
+                    }
+                    let probes = std::cell::RefCell::new(Vec::new());
+                    let (load, n, oc) =
+                        bisect_saturation(iters, 1.0, Some(warm), recording_oracle(t, &probes));
+                    assert_eq!(load.to_bits(), cold.to_bits(), "t={t} err={err}");
+                    assert_eq!(oc, WarmOutcome::Accepted, "t={t} err={err}");
+                    // An in-band hint only ever simulates rates the cold
+                    // search also simulated — never more work, usually
+                    // far less.
+                    assert!(n <= cold_n, "t={t} err={err}: {n} > {cold_n}");
+                    for r in probes.borrow().iter() {
+                        assert!(
+                            cold_probes.borrow().contains(r),
+                            "warm probed {r}, cold never did (t={t} err={err})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_search_halves_probe_count_near_accurate_hints() {
+        // The headline economics: with a full-depth probe (7 iters, 8 cold
+        // stability sims) an accurate hint needs at most half of them.
+        for t in [0.17, 0.375, 0.52, 0.81] {
+            let (_, cold_n, _) = bisect_saturation(7, 1.0, None, |r| r < t);
+            assert_eq!(cold_n, 8);
+            let warm = WarmStart {
+                predicted: t + 0.01,
+                margin: 0.03,
+            };
+            let (_, warm_n, _) = bisect_saturation(7, 1.0, Some(warm), |r| r < t);
+            assert!(
+                warm_n * 2 <= cold_n,
+                "t={t}: {warm_n} sims vs cold {cold_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_warm_hint_falls_back_to_identical_cold_result() {
+        for (t, pred) in [(0.3, 0.85), (0.8, 0.15), (0.45, 0.95)] {
+            let (cold, _, _) = bisect_saturation(7, 1.0, None, |r| r < t);
+            let warm = WarmStart {
+                predicted: pred,
+                margin: 0.03,
+            };
+            let probes = std::cell::RefCell::new(Vec::new());
+            let (load, _, oc) = bisect_saturation(7, 1.0, Some(warm), recording_oracle(t, &probes));
+            assert_eq!(load.to_bits(), cold.to_bits(), "t={t} pred={pred}");
+            assert_eq!(oc, WarmOutcome::Rejected);
+            // No rate is ever simulated twice, even across the
+            // warm-then-cold fallback.
+            let list = probes.borrow();
+            let mut bits: Vec<u64> = list.iter().map(|r| r.to_bits()).collect();
+            bits.sort_unstable();
+            bits.dedup();
+            assert_eq!(bits.len(), list.len(), "duplicate probe for t={t}");
+        }
+    }
+
+    #[test]
+    fn fallback_skips_max_rate_probe_when_instability_already_proven() {
+        // A hint far above the true threshold: the warm phase simulates
+        // unstable in-band midpoints, verification rejects the bracket, and
+        // the cold fallback must not re-establish what the memo already
+        // proves — max_rate is never simulated.
+        let t = 0.3;
+        let probes = std::cell::RefCell::new(Vec::new());
+        let warm = WarmStart {
+            predicted: 0.9,
+            margin: 0.05,
+        };
+        let (load, _, oc) = bisect_saturation(7, 1.0, Some(warm), recording_oracle(t, &probes));
+        assert_eq!(oc, WarmOutcome::Rejected);
+        let (cold, _, _) = bisect_saturation(7, 1.0, None, |r| r < t);
+        assert_eq!(load.to_bits(), cold.to_bits());
+        assert!(
+            !probes.borrow().iter().any(|&r| r >= 1.0),
+            "fallback re-probed max_rate: {:?}",
+            probes.borrow()
+        );
+    }
+
+    #[test]
+    fn stable_at_max_rate_returns_max_under_warm_hint_too() {
+        // Everything stable: cold returns max_rate; a high hint must agree.
+        let (cold, _, _) = bisect_saturation(5, 1.0, None, |_r| true);
+        assert_eq!(cold, 1.0);
+        let warm = WarmStart {
+            predicted: 1.3,
+            margin: 0.05,
+        };
+        let (load, _, oc) = bisect_saturation(5, 1.0, Some(warm), |_r| true);
+        assert_eq!(load, 1.0);
+        assert_eq!(oc, WarmOutcome::Accepted);
+    }
+
+    #[test]
+    fn degenerate_hints_are_ignored() {
+        for warm in [
+            WarmStart {
+                predicted: f64::NAN,
+                margin: 0.05,
+            },
+            WarmStart {
+                predicted: 0.4,
+                margin: 0.0,
+            },
+            WarmStart {
+                predicted: -0.2,
+                margin: 0.05,
+            },
+        ] {
+            let (cold, cold_n, _) = bisect_saturation(5, 1.0, None, |r| r < 0.4);
+            let (load, n, oc) = bisect_saturation(5, 1.0, Some(warm), |r| r < 0.4);
+            assert_eq!(load.to_bits(), cold.to_bits());
+            assert_eq!(n, cold_n);
+            assert_eq!(oc, WarmOutcome::Rejected);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use traffic::pattern::Pattern;
+use traffic::saturation::{bisect_saturation, WarmOutcome, WarmStart};
 use traffic::scenario::{six_app, two_app, InterDest};
 use traffic::trace::Trace;
 use traffic::workload::{AppModel, ParsecWorkload};
@@ -58,6 +59,35 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The warm-started bisection returns the bit-identical load of the
+    /// cold one for *every* monotone stability threshold, prediction and
+    /// margin — accurate hints, wildly wrong hints, degenerate margins.
+    /// This is the invariant that lets the sweep cache accept warm results
+    /// without perturbing golden digests.
+    #[test]
+    fn warm_bisection_is_bit_identical_to_cold(
+        threshold in 0.001f64..1.2,
+        predicted in 0.001f64..1.2,
+        margin in 0.0005f64..0.3,
+        iters in 1u32..9,
+        max_rate in prop_oneof![Just(1.0f64), Just(0.7), Just(2.0)],
+    ) {
+        let stable = |rate: f64| rate <= threshold;
+        let (cold, cold_probes, oc) = bisect_saturation(iters, max_rate, None, stable);
+        prop_assert_eq!(oc, WarmOutcome::NoHint);
+        let warm = Some(WarmStart { predicted, margin });
+        let (load, warm_probes, outcome) = bisect_saturation(iters, max_rate, warm, stable);
+        prop_assert_eq!(
+            load.to_bits(), cold.to_bits(),
+            "warm {} != cold {} (t={}, pred={}, m={}, iters={}, {:?})",
+            load, cold, threshold, predicted, margin, iters, outcome
+        );
+        // The memo guarantees a probe is never repeated, so even a
+        // rejected warm phase costs at most the cold search plus the
+        // warm midpoints and bracket verification.
+        prop_assert!(warm_probes <= cold_probes + iters + 2);
     }
 
     /// Six-app scenarios respect the 75/20/5 mix within tolerance, for any

@@ -159,6 +159,14 @@ pub const SCOPES: &[Scope] = &[
         exempt: &[],
     },
     Scope {
+        dir: "crates/model/src",
+        exempt: &[],
+    },
+    Scope {
+        dir: "crates/model/tests",
+        exempt: &[],
+    },
+    Scope {
         dir: "crates/experiments/src",
         exempt: &["wall-clock"],
     },
