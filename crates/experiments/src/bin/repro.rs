@@ -18,9 +18,9 @@ use experiments::runner::ExpConfig;
 use metrics::Table;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--prune] [--inject-cyclic] \
+const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--prune] [--inject-cyclic] [--inject-broken] \
 [--topology mesh|torus|ring|cmesh[:N]] \
-<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|bench-model|verify-config|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
+<table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|bench-model|verify-config|admit|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
 [--trace-file PATH]";
 
 fn main() -> ExitCode {
@@ -28,6 +28,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut smoke = false;
     let mut inject_cyclic = false;
+    let mut inject_broken = false;
     let mut topology = noc_sim::topology::TopologyKind::Mesh;
     let mut trace_file = String::from("/tmp/rair_trace.bin");
     let mut experiments: Vec<String> = Vec::new();
@@ -70,6 +71,7 @@ fn main() -> ExitCode {
                 std::env::set_var("RAIR_ORACLE", "1");
             }
             "--inject-cyclic" => inject_cyclic = true,
+            "--inject-broken" => inject_broken = true,
             "--topology" => {
                 match args
                     .next()
@@ -260,6 +262,14 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+            "admit" => {
+                if inject_broken {
+                    return admit_negative(topology);
+                }
+                if let Some(code) = admit_positive(topology, &emit) {
+                    return code;
+                }
+            }
             "bench-kernel" => {
                 let rows = experiments::bench_kernel::run(&ec);
                 emit(&experiments::bench_kernel::table(&rows));
@@ -407,6 +417,86 @@ fn verify_config_negative(topology: noc_sim::topology::TopologyKind) -> ExitCode
     }
     eprintln!(
         "[repro] {} injected cyclic/broken configs, {} rejected",
+        cases.len(),
+        cases.iter().filter(|c| c.rejected).count()
+    );
+    ExitCode::FAILURE
+}
+
+/// Run the static admission pipeline over the shipped scheme × routing ×
+/// region matrix on the canonical config of the selected topology.
+/// Returns `Some(FAILURE)` when any cell is rejected (the golden matrix
+/// must be admitted without false rejections); `None` on success.
+fn admit_positive(
+    topology: noc_sim::topology::TopologyKind,
+    emit: &impl Fn(&Table),
+) -> Option<ExitCode> {
+    use experiments::admit;
+    let rows = admit::run_matrix_for(topology);
+    emit(&admit::table(&rows));
+    let json = admit::to_json(&rows);
+    std::fs::write("ADMIT_report.json", &json).expect("write ADMIT_report.json");
+    eprintln!(
+        "[repro] wrote {} admission rows ({} topology) to ADMIT_report.json",
+        rows.len(),
+        topology.label()
+    );
+    let mut failed = false;
+    for r in &rows {
+        if r.verdict == "reject" {
+            failed = true;
+            eprintln!(
+                "[repro] ADMIT FAILED {}/{}/{}: {}",
+                r.region,
+                r.routing,
+                r.scheme,
+                r.defect.as_deref().unwrap_or("(no defect detail)")
+            );
+        } else if r.verdict == "warn" {
+            eprintln!(
+                "[repro] admit warning {}/{}/{}: {}",
+                r.region,
+                r.routing,
+                r.scheme,
+                r.defect.as_deref().unwrap_or("(no defect detail)")
+            );
+        }
+    }
+    if failed {
+        eprintln!("[repro] static admission FAILED — false rejection in the golden matrix");
+        return Some(ExitCode::FAILURE);
+    }
+    let worst = rows.iter().map(|r| r.micros).max().unwrap_or(0);
+    println!(
+        "static admission: all {} configurations admitted \
+         (slowest cell {worst} µs, target <= 10 ms)\n",
+        rows.len()
+    );
+    None
+}
+
+/// Run the admission negative battery: every deliberately broken
+/// configuration must be rejected with the named property and a concrete
+/// witness. Always exits nonzero (the configurations are invalid);
+/// prints `NOT REJECTED` if the pipeline missed one, which the CLI tests
+/// treat as a pipeline bug.
+fn admit_negative(topology: noc_sim::topology::TopologyKind) -> ExitCode {
+    let cases = experiments::admit::negative_battery(topology);
+    for c in &cases {
+        if c.rejected {
+            println!(
+                "[{}] rejected ({}) with witness: {}",
+                c.name, c.property, c.witness
+            );
+        } else {
+            println!(
+                "[{}] NOT REJECTED — admission pipeline missed an injected defect",
+                c.name
+            );
+        }
+    }
+    eprintln!(
+        "[repro] {} injected broken configs, {} rejected",
         cases.len(),
         cases.iter().filter(|c| c.rejected).count()
     );

@@ -11,6 +11,7 @@
 //!                             lbdr|ablation-delta|ablation-vcsplit|all>
 //! ```
 
+pub mod admit;
 pub mod bench_kernel;
 pub mod bench_model;
 pub mod bench_parallel;

@@ -24,11 +24,19 @@ use rair::scheme::{Routing, Scheme};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use traffic::saturation::{app_saturation_traced, SaturationProbe, WarmOutcome};
 use traffic::scenario::AppSpec;
 
 /// Build a network from the scheme/routing matrix plus a traffic source.
+///
+/// Every construction first consults the static admission pipeline's
+/// process-wide cache ([`noc_sim::admit::admit_network_cached`]) — the
+/// pre-simulation gate of the sweep runner. A statically rejected scheme
+/// is still simulated (the paper deliberately measures the
+/// `RAIR_ForeignH` priority inversion as an ablation) but the rejection
+/// is logged once per scheme and counted; [`admission_gate_stats`]
+/// exposes the counters so drivers and tests can assert the gate ran.
 pub fn build_network(
     cfg: &SimConfig,
     region: &RegionMap,
@@ -37,13 +45,50 @@ pub fn build_network(
     source: Box<dyn TrafficSource>,
     seed: u64,
 ) -> Network {
+    let alg = routing.build();
+    let adm = noc_sim::admit::admit_network_cached(cfg, region, alg.as_ref(), &scheme.automaton());
+    ADMIT_CONSULTS.fetch_add(1, Ordering::Relaxed);
+    if !adm.is_admitted() {
+        ADMIT_REJECTS.fetch_add(1, Ordering::Relaxed);
+        let mut warned = admit_warned()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if warned.insert(adm.scheme.clone()) {
+            eprintln!(
+                "[admit] {} rejected statically — simulating anyway (measured ablation): {}",
+                adm.scheme,
+                adm.rejection()
+                    .map(|p| p.detail.clone())
+                    .unwrap_or_default()
+            );
+        }
+    }
     Network::new(
         cfg.clone(),
         region.clone(),
-        routing.build(),
+        alg,
         scheme.build(),
         source,
         seed,
+    )
+}
+
+/// Admission-gate counters.
+static ADMIT_CONSULTS: AtomicU64 = AtomicU64::new(0);
+static ADMIT_REJECTS: AtomicU64 = AtomicU64::new(0);
+
+/// Schemes already warned about (one log line per scheme per process).
+fn admit_warned() -> &'static Mutex<std::collections::BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<std::collections::BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(std::collections::BTreeSet::new()))
+}
+
+/// Process-wide admission-gate counters: `(consultations, statically
+/// rejected constructions)` since startup.
+pub fn admission_gate_stats() -> (u64, u64) {
+    (
+        ADMIT_CONSULTS.load(Ordering::Relaxed),
+        ADMIT_REJECTS.load(Ordering::Relaxed),
     )
 }
 
@@ -427,6 +472,7 @@ mod tests {
     fn build_network_wires_scheme_and_routing() {
         let cfg = SimConfig::table1();
         let region = RegionMap::single(&cfg);
+        let (consults0, _) = admission_gate_stats();
         let net = build_network(
             &cfg,
             &region,
@@ -437,6 +483,30 @@ mod tests {
         );
         assert_eq!(net.policy_name(), "RA_RAIR");
         assert_eq!(net.routing_name(), "DBAR");
+        // The admission cache was consulted before construction.
+        let (consults1, _) = admission_gate_stats();
+        assert!(consults1 > consults0);
+    }
+
+    /// The pre-simulation gate flags a statically rejected scheme but
+    /// still constructs the network — the `RAIR_ForeignH` inversion is a
+    /// measured ablation, not an error.
+    #[test]
+    fn admission_gate_counts_static_rejections() {
+        let cfg = SimConfig::table1();
+        let region = RegionMap::single(&cfg);
+        let (_, rejects0) = admission_gate_stats();
+        let net = build_network(
+            &cfg,
+            &region,
+            &Scheme::rair_foreign_high(),
+            Routing::Local,
+            Box::new(NoTraffic),
+            3,
+        );
+        assert_eq!(net.policy_name(), "RA_RAIR");
+        let (_, rejects1) = admission_gate_stats();
+        assert!(rejects1 > rejects0, "static rejection not counted");
     }
 
     #[test]

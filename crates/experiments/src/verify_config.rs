@@ -38,7 +38,7 @@ pub struct VerifyRow {
 /// rectangular region spans at most half of each wrapping dimension, so
 /// minimal paths between same-region routers never leave the rectangle —
 /// LBDR confinement stays satisfiable on the torus and ring.
-fn regions(cfg: &SimConfig) -> Vec<(&'static str, RegionMap)> {
+pub(crate) fn regions(cfg: &SimConfig) -> Vec<(&'static str, RegionMap)> {
     match cfg.topology {
         // 8×8 grids reuse the paper's exact layouts (Figs. 8/11/13).
         TopologyKind::Mesh | TopologyKind::Torus => vec![

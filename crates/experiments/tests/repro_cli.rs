@@ -163,3 +163,46 @@ fn trace_demo_roundtrips_through_file() {
     assert!(std::fs::metadata(&path).unwrap().len() > 1000);
     std::fs::remove_file(&path).ok();
 }
+
+/// Tightened `--topology` parsing: unknown kinds and out-of-range cmesh
+/// concentrations (`c < 2` collapses to a plain mesh, `c > 8` exceeds the
+/// router model) must fail up front with the usage line instead of
+/// panicking later inside config validation.
+#[test]
+fn topology_rejects_unknown_and_out_of_range_cmesh() {
+    for bad in [
+        "hypercube",
+        "cmesh:0",
+        "cmesh:1",
+        "cmesh:9",
+        "cmesh:255",
+        "cmesh:x",
+        "cmesh:",
+    ] {
+        let out = repro()
+            .args(["--topology", bad, "table1"])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "`{bad}` must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--topology needs mesh|torus|ring|cmesh[:N]"),
+            "`{bad}`: {err}"
+        );
+    }
+}
+
+#[test]
+fn topology_accepts_cmesh_bounds() {
+    for good in ["cmesh:2", "cmesh:8", "cmesh"] {
+        let out = repro()
+            .args(["--topology", good, "table1"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "`{good}` rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

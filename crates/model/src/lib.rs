@@ -45,6 +45,7 @@ use traffic::saturation::WarmStart;
 use traffic::scenario::{AppSpec, InterDest, AVG_PACKET_FLITS};
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Derating of the unit-capacity bound on mesh-family topologies
 /// (mesh, concentrated mesh): predicted saturation is the offered load
@@ -142,6 +143,16 @@ pub enum Link {
     Hop(u32, u32),
     /// A router's ejection channel (shared by all `concentration` nodes).
     Eject(u32),
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Link::Inject(n) => write!(f, "inject(n{n})"),
+            Link::Hop(a, b) => write!(f, "r{a}->r{b}"),
+            Link::Eject(r) => write!(f, "eject(r{r})"),
+        }
+    }
 }
 
 /// One `(src, dst)` traffic component with its packet rate (packets per
@@ -602,6 +613,61 @@ pub fn warm_hint(
     })
 }
 
+/// One channel of the public load map: its predicted utilization at the
+/// given operating point, split by the native/foreign class of the
+/// traffic crossing it, plus the calibrated capacity it saturates at.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelLoad {
+    /// The contention point.
+    pub link: Link,
+    /// Native-class utilization `Σ λ·E[S]` (flits/cycle).
+    pub rho_native: f64,
+    /// Foreign-class utilization (flits/cycle).
+    pub rho_foreign: f64,
+    /// Calibrated efficiency of this channel (fraction of unit capacity
+    /// reachable before flow control saturates it).
+    pub capacity: f64,
+}
+
+impl ChannelLoad {
+    /// Total predicted utilization of the channel.
+    pub fn rho_total(&self) -> f64 {
+        self.rho_native + self.rho_foreign
+    }
+}
+
+/// The per-flow link-load map of the multi-application operating point
+/// `specs` — the public API the static admission pipeline's bandwidth
+/// feasibility check is built on. Every contended channel appears with
+/// its class-split utilization (stage 2 of the model, no queueing), in
+/// deterministic [`Link`] order. A channel with `rho_total() > 1` is
+/// physically over-subscribed (the over-subscribed-region rejection);
+/// one above `capacity` but below 1 is feasible only past the calibrated
+/// knee (admitted-with-warning).
+pub fn link_load_map(
+    cfg: &SimConfig,
+    region: &RegionMap,
+    specs: &[Option<AppSpec>],
+    routing: RoutingKind,
+) -> Vec<ChannelLoad> {
+    assert_eq!(specs.len(), region.num_apps());
+    let mut flows = Vec::new();
+    for (a, spec) in specs.iter().enumerate() {
+        if let Some(s) = spec {
+            app_flows(cfg, region, a as AppId, s, &mut flows);
+        }
+    }
+    link_loads(cfg, region, &flows, routing.style())
+        .into_iter()
+        .map(|(link, load)| ChannelLoad {
+            link,
+            rho_native: load.rho[0],
+            rho_foreign: load.rho[1],
+            capacity: link_efficiency(cfg, link),
+        })
+        .collect()
+}
+
 /// Predicted mean packet latency per application (cycles, injection to
 /// ejection) for the multi-application operating point `specs` under
 /// `routing` and priority `mode`. `per_app[a]` is `None` for silent
@@ -860,6 +926,32 @@ mod tests {
             PriorityMode::NativeHigh,
         );
         assert!(lat[0].is_some() && lat[1].is_none());
+    }
+
+    #[test]
+    fn link_load_map_is_conservative_and_class_split() {
+        let c = cfg();
+        let region = RegionMap::halves(&c);
+        // App 0 sends 40% of its flits into app 1's half: those flows are
+        // foreign on channels inside app 1's region.
+        let specs = vec![
+            Some(AppSpec::with_inter(0.2, 0.4, InterDest::Region(1))),
+            Some(AppSpec::intra_only(0.1)),
+        ];
+        let map = link_load_map(&c, &region, &specs, RoutingKind::Adaptive);
+        assert!(!map.is_empty());
+        assert!(map.iter().all(|cl| {
+            cl.rho_native >= 0.0 && cl.rho_foreign >= 0.0 && cl.capacity > 0.0 && cl.capacity <= 1.0
+        }));
+        assert!(
+            map.iter().any(|cl| cl.rho_foreign > 0.0),
+            "inter-region traffic must show up as foreign load"
+        );
+        // Labels are stable and link-shaped.
+        let labels: Vec<String> = map.iter().take(2).map(|cl| cl.link.to_string()).collect();
+        assert!(labels[0].starts_with("inject(n"), "{labels:?}");
+        // At a tiny offered load nothing is over-subscribed.
+        assert!(map.iter().all(|cl| cl.rho_total() < 1.0));
     }
 
     #[test]

@@ -116,24 +116,36 @@ pub trait PriorityPolicy: Send + Sync {
 ///
 /// Returns the index *into `reqs`* of the winner.
 pub fn arbitrate_rr(reqs: &[(u64, usize)], num_slots: usize, ptr: &mut usize) -> Option<usize> {
-    if reqs.is_empty() {
-        return None;
-    }
-    let max_prio = reqs.iter().map(|r| r.0).max().unwrap();
+    let (widx, next_ptr) = arbitrate_rr_at(reqs, num_slots, *ptr)?;
+    *ptr = next_ptr;
+    Some(widx)
+}
+
+/// Pure transition function of the rotating-priority arbiter: the same
+/// decision as [`arbitrate_rr`] without mutating the pointer. Returns
+/// `(winner index into reqs, next pointer)`. The static admission
+/// pipeline ([`crate::admit`]) reasons about arbitration through this
+/// function; the kernel wrapper above delegates here so the two can
+/// never diverge.
+pub fn arbitrate_rr_at(
+    reqs: &[(u64, usize)],
+    num_slots: usize,
+    ptr: usize,
+) -> Option<(usize, usize)> {
+    let max_prio = reqs.iter().map(|r| r.0).max()?;
     let mut best: Option<(usize, usize)> = None; // (rotated distance, req index)
     for (i, &(p, key)) in reqs.iter().enumerate() {
         if p != max_prio {
             continue;
         }
         debug_assert!(key < num_slots, "slot key {key} out of range {num_slots}");
-        let dist = (key + num_slots - *ptr) % num_slots;
+        let dist = (key + num_slots - ptr) % num_slots;
         if best.is_none_or(|(d, _)| dist < d) {
             best = Some((dist, i));
         }
     }
-    let (_, widx) = best.expect("at least one max-priority request");
-    *ptr = (reqs[widx].1 + 1) % num_slots;
-    Some(widx)
+    let (_, widx) = best?;
+    Some((widx, (reqs[widx].1 + 1) % num_slots))
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admit;
 pub mod analysis;
 pub mod arbitration;
 pub mod bits;
@@ -60,6 +61,10 @@ pub mod verify;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::admit::{
+        admit_network, admit_network_cached, Admission, AdmitVerdict, AdmitWitness,
+        PriorityAutomaton, PropertyReport,
+    };
     pub use crate::arbitration::{AgeBased, ArbReq, ArbStage, PriorityPolicy, RoundRobin, StcRank};
     pub use crate::config::SimConfig;
     pub use crate::fault::{

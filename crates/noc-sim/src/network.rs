@@ -779,6 +779,21 @@ impl Network {
         self.oracle.is_some()
     }
 
+    /// Attach an extra checker to the invariant oracle (e.g. the
+    /// starvation observer with a statically proven wait bound). Returns
+    /// `false` — and attaches nothing — when the oracle is disabled for
+    /// this network; enable it via `SimConfig::oracle` before
+    /// construction.
+    pub fn attach_checker(&mut self, checker: Box<dyn crate::oracle::Checker>) -> bool {
+        match self.oracle.as_deref_mut() {
+            Some(o) => {
+                o.add_checker(checker);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Corrupt the simulation state for the differential test harness.
     ///
     /// Each fault is a *single, surgical* violation of exactly one protocol
@@ -1304,7 +1319,10 @@ impl Network {
                 if reqs.is_empty() {
                     continue;
                 }
-                let w = arbitrate_rr(&reqs, v, &mut r.sa_in_ptr[in_port]).unwrap();
+                let Some(w) = arbitrate_rr(&reqs, v, &mut r.sa_in_ptr[in_port]) else {
+                    debug_assert!(false, "non-empty request set yields an SA_in winner");
+                    continue;
+                };
                 let win_vc = reqs[w].1;
                 sa_in_winners[in_port] = sa_scratch
                     .iter()
@@ -1312,6 +1330,9 @@ impl Network {
                     .copied();
             }
             // SA_out: one winner per output port among the SA_in winners.
+            // `moved` collects the input-VC slots that won the crossbar
+            // this cycle, feeding the starvation observer's wait counters.
+            let mut moved: u64 = 0;
             for out_port in 0..NUM_PORTS {
                 let reqs: Vec<(u64, usize)> = sa_in_winners
                     .iter()
@@ -1322,11 +1343,21 @@ impl Network {
                 if reqs.is_empty() {
                     continue;
                 }
-                let w = arbitrate_rr(&reqs, NUM_PORTS, &mut r.sa_out_ptr[out_port]).unwrap();
-                let win = sa_in_winners[reqs[w].1].expect("winner exists");
+                let Some(w) = arbitrate_rr(&reqs, NUM_PORTS, &mut r.sa_out_ptr[out_port]) else {
+                    debug_assert!(false, "non-empty request set yields an SA_out winner");
+                    continue;
+                };
+                let Some(win) = sa_in_winners[reqs[w].1] else {
+                    debug_assert!(false, "SA_out request indexes a populated SA_in winner");
+                    continue;
+                };
+                moved |= 1u64 << (win.in_port * v + win.in_vc);
                 // ST: move the flit.
                 let ivc = &mut r.inputs[win.in_port][win.in_vc];
-                let mut flit = ivc.buf.pop_front().expect("SA winner has a flit");
+                let Some(mut flit) = ivc.buf.pop_front() else {
+                    debug_assert!(false, "SA winner holds a buffered flit");
+                    continue;
+                };
                 let is_tail = flit.kind.is_tail();
                 if let Some(a) = analysis.as_deref_mut() {
                     a.link_flits[r_idx][win.out_port] += 1;
@@ -1401,6 +1432,27 @@ impl Network {
                     });
                 }
                 out.progress = true;
+            }
+            // Starvation observer: advance the per-VC head-of-line wait
+            // counters. Any routed (Active) VC with a buffered head flit
+            // that failed to move this cycle waited one more — whether it
+            // lost arbitration or was credit-starved by a standing foreign
+            // backlog; a crossbar winner starts fresh (its next head flit
+            // begins a new wait). Gated on the oracle being attached so
+            // the un-observed kernel stays untouched.
+            if out.record_notes {
+                for (port, vcs) in r.inputs.iter().enumerate() {
+                    for (vc, ivc) in vcs.iter().enumerate() {
+                        let slot = port * v + vc;
+                        let waiting =
+                            matches!(ivc.state, VcState::Active { .. }) && !ivc.buf.is_empty();
+                        r.arb_wait[slot] = if moved & (1u64 << slot) != 0 || !waiting {
+                            0
+                        } else {
+                            r.arb_wait[slot].saturating_add(1)
+                        };
+                    }
+                }
             }
         }
     }
@@ -1507,7 +1559,10 @@ impl Network {
                     else {
                         continue;
                     };
-                    let head = ivc.buf.front().expect("routed VC holds its head flit");
+                    let Some(head) = ivc.buf.front() else {
+                        debug_assert!(false, "routed VC holds its head flit");
+                        continue;
+                    };
                     debug_assert!(head.kind.is_head());
                     let info = head.info;
                     let req = arb_req(r, &info);
@@ -1558,7 +1613,11 @@ impl Network {
                     .map(|q| (q.prio, q.in_port * v + q.in_vc))
                     .collect();
                 let ptr = &mut r.va_ptr[op * v + ovc];
-                let w = arbitrate_rr(&reqs, NUM_PORTS * v, ptr).unwrap();
+                let Some(w) = arbitrate_rr(&reqs, NUM_PORTS * v, ptr) else {
+                    debug_assert!(false, "non-empty request group yields a VA winner");
+                    i = j;
+                    continue;
+                };
                 let win = group[w];
                 r.alloc_out_vc(op, ovc, (win.in_port, win.in_vc));
                 r.inputs[win.in_port][win.in_vc].state = VcState::Active {
@@ -1809,12 +1868,18 @@ impl Network {
         for (i, rng) in rngs.iter_mut().enumerate() {
             let id = i as NodeId;
             if let Some(np) = source.generate(id, cycle, rng) {
+                // The source is external code whose contract violations
+                // must surface in release runs too — the one legitimate
+                // abort in a pipeline band.
+                // lint: allow(panic-in-hot-path)
                 assert_ne!(np.dst, id, "source generated self-addressed packet");
+                // lint: allow(panic-in-hot-path)
                 assert!(
                     (np.app as usize) < stats.generated.len(),
                     "packet app {} out of range",
                     np.app
                 );
+                // lint: allow(panic-in-hot-path)
                 assert!(np.size >= 1 && np.size as usize <= cfg.vc_depth);
                 if degraded.is_some_and(|t| !t.routable(i, np.dst as usize)) {
                     // The destination (or this NI's own router) is

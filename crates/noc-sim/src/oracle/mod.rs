@@ -28,6 +28,7 @@ mod credit;
 mod deadlock;
 mod policy;
 mod routing_legal;
+mod starvation;
 mod wormhole;
 
 pub use conservation::FlitConservation;
@@ -36,6 +37,7 @@ pub use credit::CreditConservation;
 pub use deadlock::DeadlockWatch;
 pub use policy::PolicyInvariant;
 pub use routing_legal::RoutingLegality;
+pub use starvation::StarvationWatch;
 pub use wormhole::WormholeContiguity;
 
 use crate::config::SimConfig;
@@ -248,6 +250,12 @@ impl Oracle {
             max_recorded: cfg.oracle.max_recorded,
             scans: 0,
         }
+    }
+
+    /// Append a checker to an existing oracle (the differential suite
+    /// attaches the starvation observer with an explicit bound).
+    pub fn add_checker(&mut self, checker: Box<dyn Checker>) {
+        self.checkers.push(checker);
     }
 
     pub(crate) fn note_inject(&mut self, app: AppId, cycle: u64) {

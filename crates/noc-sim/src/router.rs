@@ -44,6 +44,14 @@ pub struct Router {
     /// SA_out rotating pointer per output port (over input-port indices).
     pub sa_out_ptr: Vec<usize>,
 
+    /// Consecutive cycles each routed (Active) input VC has held a head
+    /// flit without moving it through the crossbar — whether it lost
+    /// arbitration or was credit-starved — flattened `port * vcs + vc`.
+    /// Maintained by the SA band only while the oracle observes the run
+    /// (`PhaseOut::record_notes`) — the starvation observer's raw signal,
+    /// never read by the kernel itself.
+    pub arb_wait: Vec<u32>,
+
     /// DPA register: occupied VCs holding native traffic (previous cycle).
     pub ovc_native: u32,
     /// DPA register: occupied VCs holding foreign traffic (previous cycle).
@@ -106,6 +114,7 @@ impl Router {
             va_ptr: vec![0; NUM_PORTS * v],
             sa_in_ptr: vec![0; NUM_PORTS],
             sa_out_ptr: vec![0; NUM_PORTS],
+            arb_wait: vec![0; NUM_PORTS * v],
             ovc_native: 0,
             ovc_foreign: 0,
             dpa_native_high: false,

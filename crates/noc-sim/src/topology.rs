@@ -95,7 +95,11 @@ impl TopologyKind {
     }
 
     /// Parse a CLI spelling (`mesh`, `torus`, `ring`, `cmesh` or
-    /// `cmesh:<c>`). `cmesh` without a factor means concentration 4.
+    /// `cmesh:<c>` with `c` in 2..=8). `cmesh` without a factor means
+    /// concentration 4; anything else — unknown kinds, `cmesh:0`,
+    /// `cmesh:1` (that's a mesh) or past-8 concentrations the router
+    /// model does not support — is rejected rather than deferred to a
+    /// later panic in config validation.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "mesh" => Some(TopologyKind::Mesh),
@@ -103,8 +107,10 @@ impl TopologyKind {
             "ring" => Some(TopologyKind::Ring),
             "cmesh" => Some(TopologyKind::CMesh { concentration: 4 }),
             _ => {
-                let c = s.strip_prefix("cmesh:")?.parse().ok()?;
-                Some(TopologyKind::CMesh { concentration: c })
+                let c: u8 = s.strip_prefix("cmesh:")?.parse().ok()?;
+                (2..=8)
+                    .contains(&c)
+                    .then_some(TopologyKind::CMesh { concentration: c })
             }
         }
     }
@@ -505,7 +511,23 @@ mod tests {
             TopologyKind::parse("cmesh:2"),
             Some(TopologyKind::CMesh { concentration: 2 })
         );
+        assert_eq!(
+            TopologyKind::parse("cmesh:8"),
+            Some(TopologyKind::CMesh { concentration: 8 })
+        );
         assert_eq!(TopologyKind::parse("hypercube"), None);
+        // Out-of-range concentrations fail at parse time, not later in
+        // config validation: 0/1 collapse to a mesh, 9+ exceed the model.
+        for bad in [
+            "cmesh:0",
+            "cmesh:1",
+            "cmesh:9",
+            "cmesh:255",
+            "cmesh:-1",
+            "cmesh:",
+        ] {
+            assert_eq!(TopologyKind::parse(bad), None, "{bad}");
+        }
     }
 
     #[test]

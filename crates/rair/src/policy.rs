@@ -43,14 +43,48 @@ impl RairPolicy {
     pub fn with(msp: MspConfig, dpa: DpaMode) -> Self {
         Self { msp, dpa }
     }
+}
 
-    /// DPA priority of a request given the router's current decision bit.
-    #[inline]
-    fn dpa_priority(router: &Router, req: &ArbReq) -> u64 {
-        if req.is_native == router.dpa_native_high {
-            HIGH
-        } else {
-            LOW
+/// Pure, state-explicit core of [`RairPolicy::priority`]: the same
+/// per-stage priority with the router replaced by its one relevant bit
+/// (`native_high`). This is the transition-system view the static
+/// admission pipeline (`noc_sim::admit`) explores; the trait impl
+/// delegates here so the kernel and the analyzer can never drift apart.
+/// A `None` VC class at VA_out is treated like the escape/regional case
+/// (the kernel always passes the concrete class).
+pub fn stage_priority(
+    msp: MspConfig,
+    stage: ArbStage,
+    native_high: bool,
+    out_vc: Option<VcClass>,
+    is_native: bool,
+) -> u64 {
+    let dpa = if is_native == native_high { HIGH } else { LOW };
+    match stage {
+        ArbStage::VaOut => {
+            if !msp.at_va_out {
+                return 0;
+            }
+            match out_vc {
+                // Global VCs: foreign traffic always wins (its global
+                // nature implies higher criticality).
+                Some(VcClass::Adaptive { tag: VcTag::Global }) => {
+                    if is_native {
+                        LOW
+                    } else {
+                        HIGH
+                    }
+                }
+                // Regional VCs and escape VCs: DPA decides.
+                _ => dpa,
+            }
+        }
+        ArbStage::SaIn | ArbStage::SaOut => {
+            if msp.at_sa {
+                dpa
+            } else {
+                0
+            }
         }
     }
 }
@@ -67,32 +101,13 @@ impl PriorityPolicy for RairPolicy {
         out_vc: Option<VcClass>,
         req: &ArbReq,
     ) -> u64 {
-        match stage {
-            ArbStage::VaOut => {
-                if !self.msp.at_va_out {
-                    return 0;
-                }
-                match out_vc.expect("VA_out carries the contested VC class") {
-                    // Global VCs: foreign traffic always wins (its global
-                    // nature implies higher criticality).
-                    VcClass::Adaptive { tag: VcTag::Global } => {
-                        if req.is_native {
-                            LOW
-                        } else {
-                            HIGH
-                        }
-                    }
-                    // Regional VCs and escape VCs: DPA decides.
-                    _ => Self::dpa_priority(router, req),
-                }
-            }
-            ArbStage::SaIn | ArbStage::SaOut => {
-                if !self.msp.at_sa {
-                    return 0;
-                }
-                Self::dpa_priority(router, req)
-            }
-        }
+        stage_priority(
+            self.msp,
+            stage,
+            router.dpa_native_high,
+            out_vc,
+            req.is_native,
+        )
     }
 
     fn update_router(&self, router: &mut Router, _cycle: u64) {

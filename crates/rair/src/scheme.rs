@@ -4,11 +4,13 @@
 use crate::dpa::DpaMode;
 use crate::msp::MspConfig;
 use crate::policy::RairPolicy;
+use noc_sim::admit::{Aging, PriorityAutomaton};
 use noc_sim::arbitration::{
     AgeBased, PriorityPolicy, RoundRobin, StcRank, StcRankOnline, DEFAULT_BATCH_WINDOW,
     DEFAULT_RANK_INTERVAL,
 };
 use noc_sim::routing::{DbarAdaptive, DuatoLocalAdaptive, RoutingAlgorithm, XyRouting};
+use noc_sim::vc::VcTag;
 use serde::{Deserialize, Serialize};
 
 /// An interference-reduction scheme (the arbitration-priority dimension).
@@ -105,6 +107,44 @@ impl Scheme {
         }
     }
 
+    /// The scheme's priority machinery as the finite transition system
+    /// the static admission pipeline explores ([`noc_sim::admit`]). The
+    /// RAIR variants share their pure step ([`DpaMode::next_native_high`])
+    /// and priority ([`crate::policy::stage_priority`]) functions with the
+    /// kernel policy, so the analyzer and the simulator cannot drift; the
+    /// region-oblivious schemes map onto the round-robin/aging abstractions
+    /// (their priorities are pure functions of request age, not of any
+    /// router state).
+    pub fn automaton(&self) -> PriorityAutomaton {
+        match self {
+            Scheme::RoRr => PriorityAutomaton::round_robin("RO_RR"),
+            Scheme::RoAge => PriorityAutomaton::aging("RO_Age", None),
+            Scheme::RoRank { batch_window, .. } => {
+                PriorityAutomaton::aging("RO_Rank", Some(*batch_window))
+            }
+            Scheme::RoRankOnline {
+                batch_window,
+                rank_interval,
+                ..
+            } => PriorityAutomaton::aging("RO_RankOnline", Some(batch_window + rank_interval)),
+            Scheme::Rair { msp, dpa } => {
+                let (msp, dpa) = (*msp, *dpa);
+                PriorityAutomaton {
+                    name: self.label(),
+                    step: Box::new(move |prev, n, f| dpa.next_native_high(prev, n, f)),
+                    priority: Box::new(move |stage, nh, vc, is_native| {
+                        crate::policy::stage_priority(msp, stage, nh, vc, is_native)
+                    }),
+                    native_pref: Some(VcTag::Regional),
+                    foreign_pref: Some(VcTag::Global),
+                    aging: Aging::None,
+                    // Router::new resets the DPA bit to foreign-high.
+                    initial_native_high: false,
+                }
+            }
+        }
+    }
+
     /// Display name matching the paper's figure legends.
     pub fn label(&self) -> String {
         match self {
@@ -166,6 +206,32 @@ mod tests {
         assert_eq!(Scheme::rair_foreign_high().label(), "RAIR_ForeignH");
         assert_eq!(Routing::Local.label(), "Local");
         assert_eq!(Routing::Dbar.label(), "DBAR");
+    }
+
+    #[test]
+    fn automata_carry_scheme_labels_and_admission_verdicts() {
+        use noc_sim::admit::{check_progress, AdmitVerdict};
+        use noc_sim::config::SimConfig;
+        let cfg = SimConfig::table1();
+        // Every shipped scheme is starvation-free.
+        for s in [
+            Scheme::RoRr,
+            Scheme::RoAge,
+            Scheme::ro_rank(vec![0.1, 0.3]),
+            Scheme::ro_rank_online(2),
+            Scheme::rair(),
+            Scheme::rair_va_only(),
+            Scheme::rair_native_high(),
+        ] {
+            let auto = s.automaton();
+            assert_eq!(auto.name, s.label());
+            let rep = check_progress(&cfg, &auto);
+            assert_eq!(rep.verdict, AdmitVerdict::Admit, "{}", s.label());
+        }
+        // The ForeignH priority inversion is the pinned negative.
+        let rep = check_progress(&cfg, &Scheme::rair_foreign_high().automaton());
+        assert_eq!(rep.verdict, AdmitVerdict::Reject);
+        assert!(rep.witness.is_some());
     }
 
     #[test]

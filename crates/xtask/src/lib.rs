@@ -9,6 +9,14 @@
 //! nondeterministically. `cargo run -p xtask -- lint` bans those tokens from
 //! the kernel crates.
 //!
+//! A second, *function-scoped* rule (`panic-in-hot-path`, see
+//! [`PANIC_RULE`] / [`HOT_PATHS`]) bans the panic family — `unwrap`,
+//! `expect`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` and the
+//! release-mode `assert*` macros — from the bodies of the six
+//! pipeline-phase band functions and the admission verifier's checks.
+//! `debug_assert*` stays legal there: it documents the invariant while the
+//! release kernel recovers instead of aborting.
+//!
 //! The issue asked for a `syn`-based AST pass; `syn` is not vendored in this
 //! offline build environment (and pulling it in would violate the
 //! no-new-dependencies constraint), so the lint is a hand-rolled
@@ -87,9 +95,68 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
+/// The function-scoped panic rule: inside the kernel's six pipeline-phase
+/// band functions and the admission verifier's property checks, a panic is
+/// a simulator abort a caller can neither catch nor attribute — those
+/// paths must degrade via `debug_assert!` + recovery instead. Applied only
+/// to the bodies listed in [`HOT_PATHS`], not file-wide (constructors and
+/// tests in the same files validate inputs with `assert!` legitimately).
+pub const PANIC_RULE: Rule = Rule {
+    name: "panic-in-hot-path",
+    tokens: &[
+        "unwrap",
+        "expect",
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ],
+    why: "pipeline bands and admission checks must not abort mid-run; \
+          recover with `let .. else { debug_assert!(false, ..); .. }`",
+};
+
+/// One file whose named function bodies are held to [`PANIC_RULE`].
+pub struct HotPath {
+    /// Path relative to the workspace root.
+    pub file: &'static str,
+    /// Function names whose bodies are scanned.
+    pub functions: &'static [&'static str],
+}
+
+/// The hot paths: the six pure pipeline-phase bands (shared by the serial
+/// and sharded engines) and the admission verifier's entry points.
+pub const HOT_PATHS: &[HotPath] = &[
+    HotPath {
+        file: "crates/noc-sim/src/network.rs",
+        functions: &[
+            "sa_band",
+            "va_band",
+            "rc_band",
+            "generate_packets",
+            "inject_band",
+            "update_band",
+        ],
+    },
+    HotPath {
+        file: "crates/noc-sim/src/admit.rs",
+        functions: &[
+            "check_progress",
+            "check_non_interference",
+            "admit_network",
+            "admit_network_cached",
+        ],
+    },
+];
+
 /// Look up a rule by name.
 pub fn rule(name: &str) -> Option<&'static Rule> {
-    RULES.iter().find(|r| r.name == name)
+    RULES
+        .iter()
+        .find(|r| r.name == name)
+        .or((PANIC_RULE.name == name).then_some(&PANIC_RULE))
 }
 
 /// One banned token found in a scanned file.
@@ -189,12 +256,21 @@ enum Mode {
     Char,
 }
 
-/// Tokenize `src` and return `(line, identifier)` pairs plus, per line, the
-/// set of rule names allowed on that line via `lint: allow(...)` comments
-/// (a directive covers its own line and the next).
-fn scan(src: &str) -> (Vec<(usize, String)>, Vec<Vec<String>>) {
+/// One code token the scanner emits: an identifier, or a curly brace
+/// (braces inside comments, strings and char literals never appear —
+/// they fuel the function-body spans of the hot-path lint).
+enum Tok {
+    Ident(usize, String),
+    Open,
+    Close,
+}
+
+/// Tokenize `src` into a [`Tok`] stream plus, per line, the set of rule
+/// names allowed on that line via `lint: allow(...)` comments (a directive
+/// covers its own line and the next).
+fn scan(src: &str) -> (Vec<Tok>, Vec<Vec<String>>) {
     let num_lines = src.lines().count() + 1;
-    let mut idents: Vec<(usize, String)> = Vec::new();
+    let mut idents: Vec<Tok> = Vec::new();
     let mut allows: Vec<Vec<String>> = vec![Vec::new(); num_lines + 2];
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0usize;
@@ -244,12 +320,14 @@ fn scan(src: &str) -> (Vec<(usize, String)>, Vec<Vec<String>>) {
                     }
                     mode = Mode::Char;
                 }
+                '{' => idents.push(Tok::Open),
+                '}' => idents.push(Tok::Close),
                 _ if c.is_alphabetic() || c == '_' => {
                     let start = i;
                     while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
                         i += 1;
                     }
-                    idents.push((line, bytes[start..i].iter().collect()));
+                    idents.push(Tok::Ident(line, bytes[start..i].iter().collect()));
                     continue;
                 }
                 _ => {}
@@ -379,24 +457,107 @@ fn record_allows(comment: &str, line: usize, allows: &mut [Vec<String>]) {
 
 /// Lint one source text against `rules`; `path` labels the findings.
 pub fn lint_source(path: &str, src: &str, rules: &[&Rule]) -> Vec<Finding> {
-    let (idents, allows) = scan(src);
+    let (toks, allows) = scan(src);
     let mut findings = Vec::new();
-    for (line, ident) in idents {
+    for t in &toks {
+        let Tok::Ident(line, ident) = t else { continue };
         for r in rules {
             if r.tokens.contains(&ident.as_str())
                 && !allows
-                    .get(line)
+                    .get(*line)
                     .is_some_and(|a| a.iter().any(|n| n == r.name))
             {
                 findings.push(Finding {
                     path: path.to_string(),
-                    line,
+                    line: *line,
                     rule: r.name,
                     token: ident.clone(),
                     why: r.why,
                 });
             }
         }
+    }
+    findings
+}
+
+/// Token-index spans (half-open) of the bodies of `functions` in `toks`.
+///
+/// A body starts at the first `{` after `fn <name>` — sound for this
+/// codebase because nothing brace-bearing (const-generic expressions,
+/// struct-expression defaults) appears in the signatures of the listed
+/// functions, and braces inside comments and strings are never emitted by
+/// the scanner.
+fn body_spans(toks: &[Tok], functions: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let hit = matches!(&toks[i], Tok::Ident(_, id) if id == "fn")
+            && matches!(&toks[i + 1..].iter().find(|t| matches!(t, Tok::Ident(..))),
+                        Some(Tok::Ident(_, name)) if functions.contains(&name.as_str()));
+        if !hit {
+            i += 1;
+            continue;
+        }
+        // Skip to the body's opening brace, then to its matching close.
+        let Some(open) = (i..toks.len()).find(|k| matches!(toks[*k], Tok::Open)) else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut close = toks.len();
+        for (k, t) in toks.iter().enumerate().skip(open) {
+            match t {
+                Tok::Open => depth += 1,
+                Tok::Close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                Tok::Ident(..) => {}
+            }
+        }
+        spans.push((open, close));
+        i = close.min(toks.len() - 1) + 1;
+    }
+    spans
+}
+
+/// Apply [`PANIC_RULE`] to the bodies of `functions` within one source
+/// text; `path` labels the findings. The `lint: allow(panic-in-hot-path)`
+/// hatch works exactly as for the file-wide rules.
+pub fn lint_hot_source(path: &str, src: &str, functions: &[&str]) -> Vec<Finding> {
+    let (toks, allows) = scan(src);
+    let mut findings = Vec::new();
+    for (open, close) in body_spans(&toks, functions) {
+        for t in &toks[open..close] {
+            let Tok::Ident(line, ident) = t else { continue };
+            if PANIC_RULE.tokens.contains(&ident.as_str())
+                && !allows
+                    .get(*line)
+                    .is_some_and(|a| a.iter().any(|n| n == PANIC_RULE.name))
+            {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: *line,
+                    rule: PANIC_RULE.name,
+                    token: ident.clone(),
+                    why: PANIC_RULE.why,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Lint every configured hot path under `root` (the workspace root).
+pub fn lint_hot_paths(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for hp in HOT_PATHS {
+        let Ok(src) = std::fs::read_to_string(root.join(hp.file)) else {
+            continue;
+        };
+        findings.extend(lint_hot_source(hp.file, &src, hp.functions));
     }
     findings
 }
@@ -439,9 +600,12 @@ pub fn lint_scope(root: &Path, scope: &Scope) -> Vec<Finding> {
     findings
 }
 
-/// Lint every configured scope. Empty result = clean tree.
+/// Lint every configured scope plus the hot-path function bodies. Empty
+/// result = clean tree.
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
-    SCOPES.iter().flat_map(|s| lint_scope(root, s)).collect()
+    let mut findings: Vec<Finding> = SCOPES.iter().flat_map(|s| lint_scope(root, s)).collect();
+    findings.extend(lint_hot_paths(root));
+    findings
 }
 
 /// The workspace root, resolved from this crate's manifest directory.

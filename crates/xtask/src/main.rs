@@ -34,6 +34,8 @@ fn print_usage() {
     for r in xtask::RULES {
         eprintln!("  {:<24} {}", r.name, r.why);
     }
+    let p = &xtask::PANIC_RULE;
+    eprintln!("  {:<24} {} (function-scoped)", p.name, p.why);
 }
 
 fn lint() -> ExitCode {
@@ -41,7 +43,8 @@ fn lint() -> ExitCode {
     let findings = xtask::lint_workspace(&root);
     if findings.is_empty() {
         let files: usize = xtask::SCOPES.len();
-        println!("xtask lint: clean ({files} scopes, 0 findings)");
+        let hot: usize = xtask::HOT_PATHS.iter().map(|h| h.functions.len()).sum();
+        println!("xtask lint: clean ({files} scopes, {hot} hot-path functions, 0 findings)");
         return ExitCode::SUCCESS;
     }
     for f in &findings {

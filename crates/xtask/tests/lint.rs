@@ -154,3 +154,96 @@ fn reverting_the_sweep_btreemap_conversion_fails_the_lint() {
         .iter()
         .all(|f| f.rule != "hash-collections"));
 }
+
+/// The function-scoped panic rule: fires only inside listed bodies, stays
+/// silent elsewhere in the same file, allows `debug_assert*`, and honors
+/// the escape hatch.
+#[test]
+fn panic_rule_is_function_scoped() {
+    let src = r#"
+fn helper() {
+    let x = opt.unwrap(); // outside the hot path: legal
+}
+pub(crate) fn sa_band(x: Option<u32>) -> u32 {
+    debug_assert!(x.is_some());
+    x.unwrap()
+}
+fn also_fine() {
+    panic!("not a hot path");
+}
+"#;
+    let f = xtask::lint_hot_source("fixture.rs", src, &["sa_band"]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "panic-in-hot-path");
+    assert_eq!(f[0].token, "unwrap");
+    assert_eq!(f[0].line, 7);
+}
+
+#[test]
+fn panic_rule_catches_each_family_member() {
+    for tok in [
+        "unwrap",
+        "expect",
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ] {
+        let src = format!("fn va_band() {{\n    {tok}!(maybe);\n}}\n");
+        let f = xtask::lint_hot_source("fixture.rs", &src, &["va_band"]);
+        assert_eq!(f.len(), 1, "{tok} missed: {f:?}");
+        assert_eq!(f[0].token, tok);
+    }
+    // The debug_ variants stay legal.
+    let src = "fn va_band() {\n    debug_assert!(ok);\n    debug_assert_eq!(a, b);\n}\n";
+    assert!(xtask::lint_hot_source("fixture.rs", src, &["va_band"]).is_empty());
+}
+
+#[test]
+fn panic_rule_escape_hatch_and_strings() {
+    let hatched =
+        "fn rc_band() {\n    // lint: allow(panic-in-hot-path)\n    assert!(contract);\n}\n";
+    assert!(xtask::lint_hot_source("fixture.rs", hatched, &["rc_band"]).is_empty());
+    // Tokens in strings and comments inside the body never fire, and
+    // braces inside them must not derail the span tracker.
+    let noisy = "fn rc_band() {\n    // unwrap in a comment {\n    let s = \"panic! } {\";\n}\nfn after() { x.unwrap(); }\n";
+    assert!(xtask::lint_hot_source("fixture.rs", noisy, &["rc_band"]).is_empty());
+}
+
+/// Revert-one-satellite check for the panic rule: putting the `.unwrap()`
+/// arbitration calls back into `sa_band`/`va_band` must fail the lint.
+#[test]
+fn reverting_the_band_unwrap_rewrite_fails_the_lint() {
+    let path = xtask::workspace_root().join("crates/noc-sim/src/network.rs");
+    let src = std::fs::read_to_string(&path).unwrap();
+    let hot: Vec<&str> = xtask::HOT_PATHS
+        .iter()
+        .find(|h| h.file.ends_with("network.rs"))
+        .unwrap()
+        .functions
+        .to_vec();
+    // The shipped file is clean…
+    assert!(xtask::lint_hot_source("network.rs", &src, &hot).is_empty());
+    // …and reintroducing an unwrap inside sa_band is caught.
+    let marker = "let Some(w) = arbitrate_rr(&reqs, v, &mut r.sa_in_ptr[in_port]) else {";
+    assert!(src.contains(marker), "sa_band rewrite marker missing");
+    let reverted = src.replace(
+        marker,
+        "let Some(w) = Some(arbitrate_rr(&reqs, v, &mut r.sa_in_ptr[in_port]).unwrap()) else {",
+    );
+    let findings = xtask::lint_hot_source("network.rs", &reverted, &hot);
+    assert!(
+        findings.iter().any(|f| f.token == "unwrap"),
+        "lint missed the reverted unwrap: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_rule_lookup_and_workspace_hot_paths_clean() {
+    assert!(xtask::rule("panic-in-hot-path").is_some());
+    let findings = xtask::lint_hot_paths(&xtask::workspace_root());
+    assert!(findings.is_empty(), "{findings:?}");
+}
