@@ -21,7 +21,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: repro [--quick] [--smoke] [--seed N] [--csv] [--oracle] [--prune] [--inject-cyclic] [--inject-broken] \
 [--topology mesh|torus|ring|cmesh[:N]] \
 <table1|fig9|fig10|fig12|fig14|fig15|fig17|lbdr|oracle|curve|trace-demo|bench-kernel|bench-parallel|bench-model|verify-config|admit|resilience|ablation-delta|ablation-vcsplit|ablation-rank|baselines|all> \
-[--trace-file PATH]";
+[--trace-file PATH]\n\
+       repro [--quick] [--windows W,M] serve <jobs-file> [--dir PATH] [--retries N] [--timeout-ms N] [--screen]\n\
+       repro [--smoke] [--seed N] chaos [--inject-wrong-result]";
 
 fn main() -> ExitCode {
     let mut ec = ExpConfig::full();
@@ -31,6 +33,11 @@ fn main() -> ExitCode {
     let mut inject_broken = false;
     let mut topology = noc_sim::topology::TopologyKind::Mesh;
     let mut trace_file = String::from("/tmp/rair_trace.bin");
+    let mut serve_dir = String::from("results/serve");
+    let mut retries: u32 = 3;
+    let mut timeout_ms: Option<u64> = None;
+    let mut screen = false;
+    let mut inject_wrong_result = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +79,47 @@ fn main() -> ExitCode {
             }
             "--inject-cyclic" => inject_cyclic = true,
             "--inject-broken" => inject_broken = true,
+            "--inject-wrong-result" => inject_wrong_result = true,
+            // Explicit warmup,measure override (the chaos battery drives
+            // child sweeps with tiny-but-real windows through this).
+            "--windows" => {
+                let parsed = args.next().and_then(|s| {
+                    let (w, m) = s.split_once(',')?;
+                    Some((w.trim().parse().ok()?, m.trim().parse().ok()?))
+                });
+                match parsed {
+                    Some((w, m)) => {
+                        ec.warmup = w;
+                        ec.measure = m;
+                    }
+                    None => {
+                        eprintln!("--windows needs WARMUP,MEASURE cycles\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--dir" => match args.next() {
+                Some(d) => serve_dir = d,
+                None => {
+                    eprintln!("--dir needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--retries" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => retries = n,
+                None => {
+                    eprintln!("--retries needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timeout-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => timeout_ms = Some(n),
+                None => {
+                    eprintln!("--timeout-ms needs milliseconds\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--screen" => screen = true,
             "--topology" => {
                 match args
                     .next()
@@ -105,6 +153,18 @@ fn main() -> ExitCode {
     if experiments.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
+    }
+    // The service subcommands take over the whole invocation (serve also
+    // consumes the following positional as its jobs file).
+    if experiments[0] == "serve" {
+        let Some(jobs_path) = experiments.get(1) else {
+            eprintln!("serve needs a jobs file\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return run_serve(jobs_path, &ec, &serve_dir, retries, timeout_ms, screen, csv);
+    }
+    if experiments[0] == "chaos" {
+        return run_chaos_battery(smoke, ec.seed, inject_wrong_result, csv);
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
@@ -501,6 +561,122 @@ fn admit_negative(topology: noc_sim::topology::TopologyKind) -> ExitCode {
         cases.iter().filter(|c| c.rejected).count()
     );
     ExitCode::FAILURE
+}
+
+/// `repro serve <jobs>` — run a jobs file through the crash-safe service:
+/// journaled transitions, result dedup, admission gate, supervised retries.
+/// Quarantined (poison) jobs are labeled in the report, never abort the
+/// sweep, and do not fail the invocation.
+fn run_serve(
+    jobs_path: &str,
+    ec: &ExpConfig,
+    dir: &str,
+    retries: u32,
+    timeout_ms: Option<u64>,
+    screen: bool,
+    csv: bool,
+) -> ExitCode {
+    use experiments::service::{serve, sim_exec, std_store, JobSpec, ServeConfig};
+    let text = match std::fs::read_to_string(jobs_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[serve] cannot read jobs file {jobs_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match JobSpec::parse_jobs(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve] invalid jobs file {jobs_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scfg = ServeConfig {
+        max_attempts: retries.max(1),
+        timeout_ms,
+        screen,
+        ..ServeConfig::new(dir, *ec)
+    };
+    let exec = sim_exec();
+    let report = serve(std_store(), &specs, &scfg, &exec);
+    let mut t = Table::new(
+        "Experiment service — job outcomes",
+        &["job", "status", "attempts", "source", "detail"],
+    );
+    for o in &report.outcomes {
+        let detail = o.reason.clone().unwrap_or_else(|| {
+            o.result.as_ref().map_or_else(String::new, |r| {
+                format!("APL {}", metrics::report::f2(r.mean_apl(None)))
+            })
+        });
+        t.row(vec![
+            o.spec.label.clone(),
+            o.status.label().to_string(),
+            o.attempts.to_string(),
+            if o.restored { "restored" } else { "executed" }.to_string(),
+            detail,
+        ]);
+    }
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+    println!(
+        "sweep digest {:016x}  ({} resumed, {} cache hits, {} executed, {} quarantined)",
+        report.sweep_digest,
+        report.resumed,
+        report.cache_hits,
+        report.executed,
+        report.quarantined(),
+    );
+    if report.quarantined() > 0 {
+        eprintln!(
+            "[serve] warning: {} poison job(s) quarantined — see the report for labels",
+            report.quarantined()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro chaos` — run the fault-injection battery and fail the invocation
+/// on any unrecovered fault. `--inject-wrong-result` runs the negative
+/// control instead (always exits nonzero; prints whether the tampered
+/// result was detected).
+fn run_chaos_battery(smoke: bool, seed: u64, inject_wrong_result: bool, csv: bool) -> ExitCode {
+    use experiments::service::{run_chaos, run_wrong_result};
+    if inject_wrong_result {
+        let (detected, detail) = run_wrong_result(seed);
+        println!(
+            "[inject-wrong-result] {}: {detail}",
+            if detected { "DETECTED" } else { "NOT DETECTED" }
+        );
+        // The negative control always exits nonzero: the store is corrupt
+        // by construction, whether or not the harness caught it — and CI
+        // asserts the nonzero exit.
+        return ExitCode::FAILURE;
+    }
+    let report = run_chaos(smoke, seed);
+    if csv {
+        print!("{}", report.table().to_csv());
+    } else {
+        println!("{}", report.table().render());
+    }
+    std::fs::write("CHAOS_report.json", report.to_json()).expect("write CHAOS_report.json");
+    eprintln!(
+        "[repro] wrote {} battery results to CHAOS_report.json",
+        report.batteries.len()
+    );
+    if report.all_green() {
+        println!(
+            "chaos battery: all {} fault classes recovered with bit-identical digests\n",
+            report.batteries.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[repro] CHAOS FAILED — at least one fault class did not recover");
+        ExitCode::FAILURE
+    }
 }
 
 /// Capture a six-application trace to `path`, then replay the *identical*

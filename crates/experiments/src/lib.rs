@@ -17,10 +17,11 @@ pub mod bench_model;
 pub mod bench_parallel;
 pub mod figs;
 pub mod runner;
+pub mod service;
 pub mod sweep;
 pub mod verify_config;
 
 pub use runner::{
-    run_one, run_parallel, run_parallel_checkpointed, run_parallel_results, ExpConfig, Job,
-    JobError, RunResult,
+    run_one, run_parallel, run_parallel_checkpointed, run_parallel_checkpointed_with,
+    run_parallel_results, ExpConfig, Job, JobError, RunResult,
 };

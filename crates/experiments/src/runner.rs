@@ -25,10 +25,9 @@ use metrics::LatencyKind;
 use noc_sim::network::Network;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Warmup/measurement window and seed for one experiment.
@@ -153,6 +152,39 @@ impl RunResult {
         self.apl[app].unwrap_or(f64::NAN)
     }
 
+    /// Fold every numeric field (everything but the label, which is
+    /// presentation) into a digest. Floats go in by bit pattern and
+    /// `None` latencies get a distinct marker, so the fold distinguishes
+    /// every state the checkpoint format can round-trip.
+    pub fn digest_into(&self, d: &mut metrics::Digest) {
+        for v in [&self.apl, &self.total_latency] {
+            d.write_u64(v.len() as u64);
+            for o in v {
+                match o {
+                    Some(x) => {
+                        d.write_u64(1);
+                        d.write_f64(*x);
+                    }
+                    None => d.write_u64(0),
+                }
+            }
+        }
+        d.write_u64(self.delivered);
+        d.write_f64(self.throughput);
+        d.write_u64(self.cycles);
+        d.write_u64(self.routers as u64);
+        d.write_u64(self.router_cycles_skipped);
+        d.write_u64(self.state_updates_skipped);
+        d.write_u64(self.idle_cycles_skipped);
+        d.write_u64(u64::from(self.oracle_enabled));
+        d.write_u64(self.oracle_violations);
+        d.write_u64(u64::from(self.truncated));
+        d.write_u64(self.flits_retransmitted);
+        d.write_u64(self.packets_retried);
+        d.write_u64(self.packets_dropped);
+        d.write_u64(self.reconfigurations);
+    }
+
     /// One-line report of how much per-cycle kernel work the active-set
     /// fast path and the idle fast-forward elided during this run.
     pub fn kernel_summary(&self) -> String {
@@ -274,7 +306,7 @@ impl std::fmt::Display for JobError {
 /// way no more workers than jobs are spawned. Parallelism never changes
 /// results — runs are independent and deterministic — so the override is
 /// purely about machine sharing.
-fn worker_count_from(env_threads: Option<&str>, jobs: usize) -> usize {
+pub(crate) fn worker_count_from(env_threads: Option<&str>, jobs: usize) -> usize {
     let (count, warning) = resolve_worker_count(env_threads, jobs);
     if let Some(w) = warning {
         eprintln!("{w}");
@@ -374,13 +406,13 @@ pub fn run_parallel_results(jobs: Vec<Job>) -> Vec<Result<RunResult, JobError>> 
 /// misparsed.
 const CHECKPOINT_TAG: &str = "rair-ckpt-v1";
 
-fn esc_label(s: &str) -> String {
+pub(crate) fn esc_label(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('\t', "\\t")
         .replace('\n', "\\n")
 }
 
-fn unesc_label(s: &str) -> String {
+pub(crate) fn unesc_label(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut it = s.chars();
     while let Some(c) = it.next() {
@@ -441,7 +473,7 @@ fn parse_latency_field(s: &str) -> Option<Vec<Option<f64>>> {
 
 /// One completed result as a single checkpoint line (tab-separated,
 /// version-tagged, floats bit-exact).
-fn checkpoint_line(r: &RunResult) -> String {
+pub(crate) fn checkpoint_line(r: &RunResult) -> String {
     format!(
         "{CHECKPOINT_TAG}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         esc_label(&r.label),
@@ -466,7 +498,7 @@ fn checkpoint_line(r: &RunResult) -> String {
 
 /// Parse one checkpoint line; any malformed, truncated (partial write at
 /// interruption) or version-mismatched line is skipped, not fatal.
-fn parse_checkpoint_line(line: &str) -> Option<RunResult> {
+pub(crate) fn parse_checkpoint_line(line: &str) -> Option<RunResult> {
     let f: Vec<&str> = line.split('\t').collect();
     if f.len() != 18 || f[0] != CHECKPOINT_TAG {
         return None;
@@ -502,10 +534,33 @@ pub fn run_parallel_checkpointed(
     jobs: Vec<Job>,
     checkpoint: &Path,
 ) -> Vec<Result<RunResult, JobError>> {
+    run_parallel_checkpointed_with(crate::service::std_store(), jobs, checkpoint)
+}
+
+/// Checkpoint rows that failed to append (EIO/ENOSPC/torn) since process
+/// start; surfaced in sweep summaries so degraded resume coverage is
+/// visible instead of silent.
+static CHECKPOINT_WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Checkpoint rows that could not be made durable so far (process-wide).
+pub fn checkpoint_write_errors() -> u64 {
+    CHECKPOINT_WRITE_ERRORS.load(Ordering::Relaxed)
+}
+
+/// [`run_parallel_checkpointed`] over an injectable [`Store`] — the seam
+/// the chaos battery drives disk faults through. Each fresh result is
+/// appended *durably* (fsync'd) before the job counts as checkpointed; an
+/// append failure is warned about and counted, never fatal: the sweep
+/// still completes, only its resume coverage shrinks.
+pub fn run_parallel_checkpointed_with(
+    store: &dyn crate::service::Store,
+    jobs: Vec<Job>,
+    checkpoint: &Path,
+) -> Vec<Result<RunResult, JobError>> {
     let n = jobs.len();
     let mut cached: BTreeMap<String, RunResult> = BTreeMap::new();
-    if let Ok(text) = std::fs::read_to_string(checkpoint) {
-        for line in text.lines() {
+    if let Ok(bytes) = store.read(checkpoint) {
+        for line in String::from_utf8_lossy(&bytes).lines() {
             if let Some(r) = parse_checkpoint_line(line) {
                 cached.insert(r.label.clone(), r);
             }
@@ -529,18 +584,26 @@ pub fn run_parallel_checkpointed(
     if !pending.is_empty() {
         if let Some(dir) = checkpoint.parent() {
             if !dir.as_os_str().is_empty() {
-                let _ = std::fs::create_dir_all(dir);
+                if let Err(e) = store.create_dir_all(dir) {
+                    eprintln!(
+                        "[sweep] warning: could not create checkpoint directory {}: {e}",
+                        dir.display()
+                    );
+                }
             }
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(checkpoint);
-        let sink: Mutex<Option<std::fs::File>> = Mutex::new(file.ok());
+        let warned = std::sync::atomic::AtomicBool::new(false);
         let append = |r: &RunResult| {
-            if let Some(f) = sink.lock().unwrap().as_mut() {
-                let _ = writeln!(f, "{}", checkpoint_line(r));
-                let _ = f.flush();
+            let line = format!("{}\n", checkpoint_line(r));
+            if let Err(e) = store.append_durable(checkpoint, line.as_bytes()) {
+                CHECKPOINT_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+                if !warned.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "[sweep] warning: checkpoint append to {} failed ({e}); \
+                         affected rows will re-run on resume",
+                        checkpoint.display()
+                    );
+                }
             }
         };
         for (idx, r) in run_indexed(pending, n, resumed, &append) {
@@ -551,8 +614,13 @@ pub fn run_parallel_checkpointed(
         .into_iter()
         .map(|r| r.expect("all jobs resolved"))
         .collect();
-    if results.iter().all(Result::is_ok) {
-        let _ = std::fs::remove_file(checkpoint);
+    if results.iter().all(Result::is_ok) && store.exists(checkpoint) {
+        if let Err(e) = store.remove(checkpoint) {
+            eprintln!(
+                "[sweep] warning: could not remove completed checkpoint {}: {e}",
+                checkpoint.display()
+            );
+        }
     }
     results
 }
@@ -836,6 +904,7 @@ mod tests {
         use std::sync::Arc;
         let dir = std::env::temp_dir().join(format!("rair-ckpt-test-{}", std::process::id()));
         let path = dir.join("sweep.ckpt");
+        // lint: allow(swallowed-io-error)
         let _ = std::fs::remove_file(&path);
         let calls = Arc::new(AtomicUsize::new(0));
         let mk = |label: &str, fail: bool| -> Job {
@@ -879,6 +948,37 @@ mod tests {
             !path.exists(),
             "checkpoint removed after a fully green sweep"
         );
+        // lint: allow(swallowed-io-error)
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_append_failure_is_counted_never_fatal() {
+        use crate::service::{ChaosStore, Fault};
+        let dir = std::env::temp_dir().join(format!("rair-ckpt-enospc-{}", std::process::id()));
+        // lint: allow(swallowed-io-error)
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sweep.ckpt");
+        // Ops: 0 = read (miss), 1 = create_dir_all, 2+ = appends. The first
+        // append hits ENOSPC; the sweep must still complete green.
+        let store = ChaosStore::scripted(vec![(2, Fault::Enospc)]);
+        let before = checkpoint_write_errors();
+        let jobs = vec![
+            Job::new("a", || stub_result("a")),
+            Job::new("b", || stub_result("b")),
+        ];
+        let r = run_parallel_checkpointed_with(&store, jobs, &path);
+        assert!(
+            r.iter().all(Result::is_ok),
+            "append failure must not fail jobs"
+        );
+        assert_eq!(
+            checkpoint_write_errors(),
+            before + 1,
+            "the failed append must be counted"
+        );
+        assert!(!path.exists(), "green sweep still cleans up");
+        // lint: allow(swallowed-io-error)
         let _ = std::fs::remove_dir_all(&dir);
     }
 

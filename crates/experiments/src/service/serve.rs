@@ -1,0 +1,1180 @@
+//! The crash-safe experiment job service (`repro serve <jobs>`).
+//!
+//! A jobs file (one whitespace-separated spec per line) is turned into a
+//! supervised, journaled sweep:
+//!
+//! 1. **Journal replay** — the CRC'd WAL ([`super::journal`]) restores
+//!    every transition a previous (possibly killed) invocation recorded.
+//!    Jobs already `done` are not re-run; `running` rows without a
+//!    matching `done`/`failed` count as consumed attempts, so a job that
+//!    kills the process on every attempt is quarantined after
+//!    `max_attempts` crash-resume cycles instead of crash-looping forever.
+//! 2. **Result dedup** — finished results are also persisted under
+//!    `<dir>/results/cache/job_<id>.txt`, keyed by the job's parameter
+//!    digest (the label is excluded, so relabeled duplicates dedup). A
+//!    valid cache entry satisfies a job without simulation; an entry that
+//!    fails its CRC is renamed `*.corrupt`, counted, and treated as a miss.
+//! 3. **Gates** — every pending job passes the static admission pipeline
+//!    before any network is built (a rejected scheme is recorded and
+//!    skipped), and with [`ServeConfig::screen`] the analytical surrogate
+//!    screens out jobs offered far past their predicted saturation.
+//! 4. **Supervision** — the worker pool wraps each attempt in
+//!    `catch_unwind` plus an optional wall-clock timeout (a hung attempt
+//!    is abandoned on a detached thread), retries with bounded
+//!    deterministic exponential backoff, and quarantines a poison job
+//!    after `max_attempts` failures — labeled in the report, never
+//!    aborting the sweep.
+//!
+//! The sweep digest folds every job's id, terminal status, and (for done
+//! jobs) the full bit pattern of its result, in jobs-file order — so "a
+//! killed+resumed sweep equals an uninterrupted one" is checkable as a
+//! single `u64` comparison.
+
+use super::journal::Journal;
+use super::store::{crc32, Store};
+use crate::runner::{self, ExpConfig, RunResult};
+use crate::sweep::build_network;
+use noc_sim::config::SimConfig;
+use noc_sim::region::RegionMap;
+use rair::scheme::{Routing, Scheme};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use traffic::pattern::Pattern;
+use traffic::scenario::{AppSpec, InterDest, Scenario};
+
+/// One line of a jobs file: which configuration to simulate. The `label`
+/// is for humans and reports only — the job identity ([`JobSpec::id`]) is
+/// a digest of everything *but* the label, so two differently-labeled
+/// lines with identical parameters dedup to one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub label: String,
+    /// Scheme key: `ro_rr`, `ro_age`, `rair`, `rair_va`, `rair_native_high`
+    /// or `rair_foreign_high`.
+    pub scheme: String,
+    /// Routing key: `xy`, `local` or `dbar`.
+    pub routing: String,
+    /// Region key: `single`, `halves` or `quadrants`.
+    pub region: String,
+    /// Pattern key: `uniform`, `transpose` or `bitcomp`.
+    pub pattern: String,
+    /// Offered load in flits/cycle/node (absolute, not %-of-saturation —
+    /// the service must not depend on the saturation search).
+    pub rate: f64,
+    pub seed: u64,
+}
+
+const SCHEME_KEYS: &[&str] = &[
+    "ro_rr",
+    "ro_age",
+    "rair",
+    "rair_va",
+    "rair_native_high",
+    "rair_foreign_high",
+];
+const ROUTING_KEYS: &[&str] = &["xy", "local", "dbar"];
+const REGION_KEYS: &[&str] = &["single", "halves", "quadrants"];
+const PATTERN_KEYS: &[&str] = &["uniform", "transpose", "bitcomp"];
+
+impl JobSpec {
+    /// Parse one jobs-file line:
+    /// `label scheme routing region pattern rate [seed]`.
+    pub fn parse(line: &str) -> Result<JobSpec, String> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 6 && f.len() != 7 {
+            return Err(format!(
+                "expected `label scheme routing region pattern rate [seed]`, got {} field(s)",
+                f.len()
+            ));
+        }
+        let check = |kind: &str, v: &str, keys: &[&str]| -> Result<String, String> {
+            if keys.contains(&v) {
+                Ok(v.to_string())
+            } else {
+                Err(format!("unknown {kind} `{v}` (one of {})", keys.join("|")))
+            }
+        };
+        let rate: f64 = f[5]
+            .parse()
+            .map_err(|_| format!("rate `{}` is not a number", f[5]))?;
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(format!("rate {rate} must be a positive finite load"));
+        }
+        let seed = match f.get(6) {
+            None => 1,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("seed `{s}` is not an integer"))?,
+        };
+        Ok(JobSpec {
+            label: f[0].to_string(),
+            scheme: check("scheme", f[1], SCHEME_KEYS)?,
+            routing: check("routing", f[2], ROUTING_KEYS)?,
+            region: check("region", f[3], REGION_KEYS)?,
+            pattern: check("pattern", f[4], PATTERN_KEYS)?,
+            rate,
+            seed,
+        })
+    }
+
+    /// Parse a whole jobs file (`#` comments and blank lines skipped).
+    /// Errors carry the 1-based line number.
+    pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, String> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            out.push(Self::parse(line).map_err(|e| format!("jobs file line {}: {e}", i + 1))?);
+        }
+        if out.is_empty() {
+            return Err("jobs file contains no jobs".into());
+        }
+        Ok(out)
+    }
+
+    /// The job's identity: a digest of every result-determining parameter
+    /// (spec fields + the windows/seed of `ec`), excluding the label.
+    pub fn id(&self, ec: &ExpConfig) -> u64 {
+        let mut d = metrics::Digest::new();
+        // Domain tag ("RAIRJOB" + version): keys of this family can never
+        // collide with the saturation-cache or sweep digests.
+        d.write_u64(0x5241_4952_4A4F_4201);
+        d.write_str(&self.scheme);
+        d.write_str(&self.routing);
+        d.write_str(&self.region);
+        d.write_str(&self.pattern);
+        d.write_f64(self.rate);
+        d.write_u64(self.seed);
+        d.write_u64(ec.warmup);
+        d.write_u64(ec.measure);
+        d.write_u64(ec.seed);
+        d.write_u64(ec.cycle_budget.map_or(u64::MAX, |b| b));
+        d.finish()
+    }
+
+    pub fn scheme_value(&self) -> Scheme {
+        match self.scheme.as_str() {
+            "ro_rr" => Scheme::RoRr,
+            "ro_age" => Scheme::RoAge,
+            "rair" => Scheme::rair(),
+            "rair_va" => Scheme::rair_va_only(),
+            "rair_native_high" => Scheme::rair_native_high(),
+            _ => Scheme::rair_foreign_high(),
+        }
+    }
+
+    pub fn routing_value(&self) -> Routing {
+        match self.routing.as_str() {
+            "xy" => Routing::Xy,
+            "dbar" => Routing::Dbar,
+            _ => Routing::Local,
+        }
+    }
+
+    pub fn region_value(&self, cfg: &SimConfig) -> RegionMap {
+        match self.region.as_str() {
+            "halves" => RegionMap::halves(cfg),
+            "quadrants" => RegionMap::quadrants(cfg),
+            _ => RegionMap::single(cfg),
+        }
+    }
+
+    pub fn pattern_value(&self) -> Pattern {
+        match self.pattern.as_str() {
+            "transpose" => Pattern::Transpose,
+            "bitcomp" => Pattern::BitComplement,
+            _ => Pattern::UniformRandom,
+        }
+    }
+
+    /// The per-application traffic spec this job offers.
+    fn app_spec(&self) -> AppSpec {
+        AppSpec {
+            rate_flits: self.rate,
+            intra: 0.0,
+            inter: 1.0,
+            inter_dest: InterDest::Pattern(self.pattern_value()),
+            mc: 0.0,
+        }
+    }
+}
+
+/// Executor: how a [`JobSpec`] becomes a [`RunResult`]. `Arc` so the
+/// timeout path can hand a clone to a detached thread; tests inject stubs.
+pub type JobExec = Arc<dyn Fn(&JobSpec, &ExpConfig) -> RunResult + Send + Sync + 'static>;
+
+/// The real executor: build the network from the spec and simulate.
+pub fn sim_exec() -> JobExec {
+    Arc::new(|spec: &JobSpec, ec: &ExpConfig| {
+        let cfg = SimConfig::table1();
+        let region = spec.region_value(&cfg);
+        let app = spec.app_spec();
+        let specs = (0..region.num_apps()).map(|_| Some(app.clone())).collect();
+        let scenario = Scenario::new(&cfg, &region, specs);
+        let net = build_network(
+            &cfg,
+            &region,
+            &spec.scheme_value(),
+            spec.routing_value(),
+            Box::new(scenario),
+            spec.seed,
+        );
+        runner::run_one(spec.label.clone(), net, ec)
+    })
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// State directory: holds `journal.wal`, `results/cache/` and the
+    /// `SERVE_report.json`.
+    pub dir: PathBuf,
+    pub ec: ExpConfig,
+    /// Attempts (including those consumed by earlier crashed invocations)
+    /// before a job is quarantined as poison.
+    pub max_attempts: u32,
+    /// Base of the deterministic exponential backoff between retries
+    /// (`base << (attempt-1)` ms, capped at [`BACKOFF_CAP_MS`]).
+    pub backoff_base_ms: u64,
+    /// Wall-clock cap per attempt; `None` means unbounded. (Wall-clock is
+    /// legal here — the experiments scope is exempt from the determinism
+    /// lint's wall-clock rule, and a timeout never feeds back into
+    /// simulation state, it only abandons an attempt.)
+    pub timeout_ms: Option<u64>,
+    /// Screen jobs through the analytical surrogate before simulating.
+    pub screen: bool,
+}
+
+/// Retry backoff cap.
+pub const BACKOFF_CAP_MS: u64 = 2_000;
+
+impl ServeConfig {
+    pub fn new(dir: impl Into<PathBuf>, ec: ExpConfig) -> Self {
+        Self {
+            dir: dir.into(),
+            ec,
+            max_attempts: 3,
+            backoff_base_ms: 50,
+            timeout_ms: None,
+            screen: false,
+        }
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.wal")
+    }
+
+    fn cache_dir(&self) -> PathBuf {
+        self.dir.join("results").join("cache")
+    }
+
+    fn result_path(&self, id: u64) -> PathBuf {
+        self.cache_dir().join(format!("job_{id:016x}.txt"))
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Simulated (or restored) successfully.
+    Done,
+    /// Statically rejected by the admission gate; never built.
+    Rejected,
+    /// Screened out by the analytical surrogate; never built.
+    Screened,
+    /// Failed `max_attempts` times (panic/timeout) — poison, labeled and
+    /// skipped, never aborting the sweep.
+    Quarantined,
+}
+
+impl JobStatus {
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Rejected => "rejected",
+            JobStatus::Screened => "screened",
+            JobStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Outcome of one jobs-file line.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub spec: JobSpec,
+    pub id: u64,
+    pub status: JobStatus,
+    /// Attempts consumed across all invocations (0 for gated/restored jobs).
+    pub attempts: u32,
+    pub result: Option<RunResult>,
+    /// Why the job was rejected/screened/quarantined.
+    pub reason: Option<String>,
+    /// Satisfied without running a simulation in this invocation (journal
+    /// replay, result-cache hit, or dedup against an identical job).
+    pub restored: bool,
+}
+
+/// What one `serve` invocation did, plus the digest that proves resume
+/// correctness.
+#[derive(Debug)]
+pub struct ServeReport {
+    pub outcomes: Vec<JobOutcome>,
+    /// Digest over (id, status, result bits) in jobs-file order.
+    pub sweep_digest: u64,
+    /// Jobs satisfied from the journal.
+    pub resumed: usize,
+    /// Jobs satisfied from the result cache (or by intra-run dedup).
+    pub cache_hits: usize,
+    /// Fresh simulations executed by this invocation.
+    pub executed: usize,
+    pub journal_write_errors: u64,
+    pub journal_torn_tail: bool,
+    pub journal_quarantined_rows: usize,
+    /// Result-cache files that failed validation and were set aside.
+    pub result_cache_corrupt: u64,
+}
+
+impl ServeReport {
+    pub fn quarantined(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == JobStatus::Quarantined)
+            .count()
+    }
+
+    /// Minimal JSON by hand (no serde_json in the offline build).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut rows = Vec::new();
+        for o in &self.outcomes {
+            rows.push(format!(
+                "    {{\"label\": \"{}\", \"id\": \"{:016x}\", \"status\": \"{}\", \
+                 \"attempts\": {}, \"restored\": {}, \"reason\": \"{}\"}}",
+                esc(&o.spec.label),
+                o.id,
+                o.status.label(),
+                o.attempts,
+                o.restored,
+                esc(o.reason.as_deref().unwrap_or(""))
+            ));
+        }
+        format!(
+            "{{\n  \"sweep_digest\": \"{:016x}\",\n  \"resumed\": {},\n  \"cache_hits\": {},\n  \
+             \"executed\": {},\n  \"quarantined\": {},\n  \"journal_write_errors\": {},\n  \
+             \"journal_torn_tail\": {},\n  \"journal_quarantined_rows\": {},\n  \
+             \"result_cache_corrupt\": {},\n  \"jobs\": [\n{}\n  ]\n}}\n",
+            self.sweep_digest,
+            self.resumed,
+            self.cache_hits,
+            self.executed,
+            self.quarantined(),
+            self.journal_write_errors,
+            self.journal_torn_tail,
+            self.journal_quarantined_rows,
+            self.result_cache_corrupt,
+            rows.join(",\n")
+        )
+    }
+}
+
+/// Journal payload grammar (the part after the WAL frame).
+mod rows {
+    use super::runner;
+    use super::RunResult;
+
+    pub fn queued(id: u64, label: &str) -> String {
+        format!("queued\t{id:016x}\t{}", runner::esc_label(label))
+    }
+
+    pub fn running(id: u64, attempt: u32) -> String {
+        format!("running\t{id:016x}\t{attempt}")
+    }
+
+    pub fn done(id: u64, r: &RunResult) -> String {
+        format!("done\t{id:016x}\t{}", runner::checkpoint_line(r))
+    }
+
+    pub fn failed(id: u64, attempt: u32, reason: &str) -> String {
+        format!(
+            "failed\t{id:016x}\t{attempt}\t{}",
+            runner::esc_label(reason)
+        )
+    }
+
+    pub fn terminal(kind: &str, id: u64, reason: &str) -> String {
+        format!("{kind}\t{id:016x}\t{}", runner::esc_label(reason))
+    }
+
+    pub fn sweep_done(digest: u64, n: usize) -> String {
+        format!("sweep-done\t{digest:016x}\t{n}")
+    }
+}
+
+/// Per-job state reconstructed from the journal.
+#[derive(Default)]
+struct ReplayedJob {
+    /// `running` rows observed (attempts consumed, across invocations).
+    runs: u32,
+    done: Option<RunResult>,
+    terminal: Option<(JobStatus, String)>,
+}
+
+/// Fold journal payload rows into per-id state. Unknown row kinds are
+/// ignored (forward compatibility within the same WAL version).
+fn replay_jobs(payloads: &[String]) -> BTreeMap<u64, ReplayedJob> {
+    let mut map: BTreeMap<u64, ReplayedJob> = BTreeMap::new();
+    for p in payloads {
+        let mut f = p.splitn(3, '\t');
+        let (Some(kind), Some(id_hex)) = (f.next(), f.next()) else {
+            continue;
+        };
+        let Ok(id) = u64::from_str_radix(id_hex, 16) else {
+            continue;
+        };
+        let rest = f.next().unwrap_or("");
+        let st = map.entry(id).or_default();
+        match kind {
+            "running" => {
+                if let Ok(a) = rest.split('\t').next().unwrap_or("").parse::<u32>() {
+                    st.runs = st.runs.max(a);
+                }
+            }
+            "done" => {
+                if let Some(r) = runner::parse_checkpoint_line(rest) {
+                    st.done = Some(r);
+                }
+            }
+            "rejected" => {
+                st.terminal = Some((JobStatus::Rejected, runner::unesc_label(rest)));
+            }
+            "screened" => {
+                st.terminal = Some((JobStatus::Screened, runner::unesc_label(rest)));
+            }
+            "quarantine" => {
+                st.terminal = Some((
+                    JobStatus::Quarantined,
+                    runner::unesc_label(rest.split('\t').next_back().unwrap_or("")),
+                ));
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Result-cache file format: `rair-res-v1 \t crc32(payload) \t payload`
+/// where payload is a checkpoint-format result line.
+const RESULT_TAG: &str = "rair-res-v1";
+
+fn encode_result(r: &RunResult) -> String {
+    let payload = runner::checkpoint_line(r);
+    format!(
+        "{RESULT_TAG}\t{:08x}\t{payload}\n",
+        crc32(payload.as_bytes())
+    )
+}
+
+fn decode_result(bytes: &[u8]) -> Option<RunResult> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut f = text.trim_end_matches('\n').splitn(3, '\t');
+    if f.next()? != RESULT_TAG {
+        return None;
+    }
+    let crc = u32::from_str_radix(f.next()?, 16).ok()?;
+    let payload = f.next()?;
+    if crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    runner::parse_checkpoint_line(payload)
+}
+
+/// How one attempt failed.
+fn attempt_error(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(std::string::ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Run one attempt under `catch_unwind`, optionally bounded by a
+/// wall-clock timeout. A timed-out attempt keeps running on a detached
+/// thread (a hung simulation cannot be cancelled cooperatively) — the
+/// supervisor simply stops waiting for it; its late result is discarded.
+fn run_attempt(
+    exec: &JobExec,
+    spec: &JobSpec,
+    ec: &ExpConfig,
+    timeout_ms: Option<u64>,
+) -> Result<RunResult, String> {
+    let Some(ms) = timeout_ms else {
+        return catch_unwind(AssertUnwindSafe(|| exec(spec, ec)))
+            .map_err(|p| format!("panicked: {}", attempt_error(p.as_ref())));
+    };
+    type Slot = (Mutex<Option<Result<RunResult, String>>>, Condvar);
+    let slot: Arc<Slot> = Arc::new((Mutex::new(None), Condvar::new()));
+    let worker_slot = Arc::clone(&slot);
+    let exec = Arc::clone(exec);
+    let spec = spec.clone();
+    let ec = *ec;
+    std::thread::spawn(move || {
+        let r = catch_unwind(AssertUnwindSafe(|| exec(&spec, &ec)))
+            .map_err(|p| format!("panicked: {}", attempt_error(p.as_ref())));
+        let (m, cv) = &*worker_slot;
+        *m.lock().unwrap() = Some(r);
+        cv.notify_all();
+    });
+    let (m, cv) = &*slot;
+    let deadline = Duration::from_millis(ms);
+    let mut guard = m.lock().unwrap();
+    while guard.is_none() {
+        let (g, timeout) = cv.wait_timeout(guard, deadline).unwrap();
+        guard = g;
+        if timeout.timed_out() && guard.is_none() {
+            return Err(format!("timed out after {ms} ms"));
+        }
+    }
+    guard.take().unwrap()
+}
+
+/// Work item for the supervised pool.
+struct Pending {
+    /// Index into the deduped unique-job list.
+    uidx: usize,
+    spec: JobSpec,
+    id: u64,
+    /// Attempts already consumed by earlier (crashed) invocations.
+    prior_runs: u32,
+}
+
+/// Execute a jobs list under the service. See the module docs for the
+/// recovery semantics; the report's `sweep_digest` is the bit-identical
+/// resume contract.
+pub fn serve(
+    store: &dyn Store,
+    specs: &[JobSpec],
+    scfg: &ServeConfig,
+    exec: &JobExec,
+) -> ServeReport {
+    if let Err(e) = store.create_dir_all(&scfg.cache_dir()) {
+        eprintln!(
+            "[serve] warning: could not create {} ({e}); results will not be cached",
+            scfg.cache_dir().display()
+        );
+    }
+    let journal = Journal::new(scfg.journal_path(), store);
+    let replay = journal.replay();
+    let replayed = replay_jobs(&replay.rows);
+
+    // Dedup the jobs list by id: only the first occurrence runs.
+    let ids: Vec<u64> = specs.iter().map(|s| s.id(&scfg.ec)).collect();
+    let mut primary_of: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, &id) in ids.iter().enumerate() {
+        primary_of.entry(id).or_insert(i);
+    }
+
+    let result_cache_corrupt = std::sync::atomic::AtomicU64::new(0);
+    let mut resumed = 0usize;
+    let cache_hits = AtomicUsize::new(0);
+    let mut pool = Vec::new();
+    // Outcome slots for the primary occurrence of each id.
+    let outcomes: Vec<Mutex<Option<JobOutcome>>> =
+        (0..specs.len()).map(|_| Mutex::new(None)).collect();
+
+    let resolve = |i: usize,
+                   status: JobStatus,
+                   attempts: u32,
+                   result: Option<RunResult>,
+                   reason: Option<String>,
+                   restored: bool| {
+        *outcomes[i].lock().unwrap() = Some(JobOutcome {
+            spec: specs[i].clone(),
+            id: ids[i],
+            status,
+            attempts,
+            result,
+            reason,
+            restored,
+        });
+    };
+
+    for (i, spec) in specs.iter().enumerate() {
+        let id = ids[i];
+        if primary_of[&id] != i {
+            continue; // duplicate: filled in after the pool from the primary
+        }
+        let st = replayed.get(&id);
+        journal.append(&rows::queued(id, &spec.label));
+        // 1. Journal replay: a done row or a terminal verdict stands.
+        if let Some(r) = st.and_then(|s| s.done.clone()) {
+            resumed += 1;
+            resolve(i, JobStatus::Done, 0, Some(r), None, true);
+            continue;
+        }
+        if let Some((status, reason)) = st.and_then(|s| s.terminal.clone()) {
+            resumed += 1;
+            resolve(i, status, 0, None, Some(reason), true);
+            continue;
+        }
+        let prior_runs = st.map_or(0, |s| s.runs);
+        // 2. Result cache: an identical job finished in some earlier sweep.
+        let rpath = scfg.result_path(id);
+        if store.exists(&rpath) {
+            match store.read(&rpath).ok().as_deref().and_then(decode_result) {
+                Some(mut r) => {
+                    r.label = spec.label.clone();
+                    journal.append(&rows::done(id, &r));
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    resolve(i, JobStatus::Done, 0, Some(r), None, true);
+                    continue;
+                }
+                None => {
+                    result_cache_corrupt.fetch_add(1, Ordering::Relaxed);
+                    let corrupt = rpath.with_extension("txt.corrupt");
+                    eprintln!(
+                        "[serve] warning: result cache entry {} failed validation; \
+                         setting it aside as {}",
+                        rpath.display(),
+                        corrupt.display()
+                    );
+                    if let Err(e) = store.rename(&rpath, &corrupt) {
+                        eprintln!("[serve] warning: could not set aside corrupt entry: {e}");
+                    }
+                }
+            }
+        }
+        // 3. Admission gate — before any network build.
+        let cfg = SimConfig::table1();
+        let region = spec.region_value(&cfg);
+        let alg = spec.routing_value().build();
+        let adm = noc_sim::admit::admit_network_cached(
+            &cfg,
+            &region,
+            alg.as_ref(),
+            &spec.scheme_value().automaton(),
+        );
+        if !adm.is_admitted() {
+            let reason = format!(
+                "admission gate rejected {}: {}",
+                adm.scheme,
+                adm.rejection()
+                    .map(|p| p.detail.clone())
+                    .unwrap_or_default()
+            );
+            journal.append(&rows::terminal("rejected", id, &reason));
+            resolve(i, JobStatus::Rejected, 0, None, Some(reason), false);
+            continue;
+        }
+        // 4. Optional surrogate screening: offered load far past the
+        // model-predicted saturation will only measure queue blow-up.
+        if scfg.screen {
+            let predicted = model::predict_app_saturation(
+                &cfg,
+                &region,
+                0,
+                &spec.app_spec(),
+                model::RoutingKind::Adaptive,
+            )
+            .map(|p| p.load);
+            if let Some(sat) = predicted {
+                if spec.rate > 1.5 * sat {
+                    let reason = format!(
+                        "screened: offered {:.3} > 1.5x predicted saturation {sat:.3}",
+                        spec.rate
+                    );
+                    journal.append(&rows::terminal("screened", id, &reason));
+                    resolve(i, JobStatus::Screened, 0, None, Some(reason), false);
+                    continue;
+                }
+            }
+        }
+        pool.push(Pending {
+            uidx: i,
+            spec: spec.clone(),
+            id,
+            prior_runs,
+        });
+    }
+
+    // Supervised worker pool over the surviving jobs.
+    let executed = AtomicUsize::new(0);
+    let total = pool.len();
+    let finished = AtomicUsize::new(0);
+    if !pool.is_empty() {
+        let queue: Mutex<Vec<Pending>> = Mutex::new(pool.into_iter().rev().collect());
+        let workers =
+            runner::worker_count_from(std::env::var("RAIR_THREADS").ok().as_deref(), total);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let job = queue.lock().unwrap().pop();
+                    let Some(p) = job else { break };
+                    let mut attempt = p.prior_runs;
+                    let mut last_err: Option<String> = None;
+                    let outcome = loop {
+                        if attempt >= scfg.max_attempts {
+                            // Poison: every granted attempt (including ones
+                            // consumed by crashed invocations) failed.
+                            let reason = match &last_err {
+                                Some(e) => format!(
+                                    "quarantined after {attempt} failed attempt(s); last: {e}"
+                                ),
+                                None => format!(
+                                    "quarantined after {attempt} failed attempt(s) \
+                                     (consumed by crashed invocations)"
+                                ),
+                            };
+                            eprintln!("[serve] job '{}' {reason}", p.spec.label);
+                            journal.append(&rows::terminal("quarantine", p.id, &reason));
+                            break (JobStatus::Quarantined, attempt, None, Some(reason), false);
+                        }
+                        attempt += 1;
+                        journal.append(&rows::running(p.id, attempt));
+                        match run_attempt(exec, &p.spec, &scfg.ec, scfg.timeout_ms) {
+                            Ok(r) => {
+                                journal.append(&rows::done(p.id, &r));
+                                if let Err(e) = store.write_atomic(
+                                    &scfg.result_path(p.id),
+                                    encode_result(&r).as_bytes(),
+                                ) {
+                                    eprintln!(
+                                        "[serve] warning: could not cache result of '{}': {e}",
+                                        p.spec.label
+                                    );
+                                }
+                                executed.fetch_add(1, Ordering::Relaxed);
+                                break (JobStatus::Done, attempt, Some(r), None, false);
+                            }
+                            Err(reason) => {
+                                eprintln!(
+                                    "[serve] job '{}' attempt {attempt}/{} failed: {reason}",
+                                    p.spec.label, scfg.max_attempts
+                                );
+                                journal.append(&rows::failed(p.id, attempt, &reason));
+                                last_err = Some(reason);
+                                if attempt < scfg.max_attempts {
+                                    // Deterministic exponential backoff.
+                                    let ms =
+                                        (scfg.backoff_base_ms << (attempt - 1)).min(BACKOFF_CAP_MS);
+                                    std::thread::sleep(Duration::from_millis(ms));
+                                }
+                            }
+                        }
+                    };
+                    let (status, attempts, result, reason, restored) = outcome;
+                    *outcomes[p.uidx].lock().unwrap() = Some(JobOutcome {
+                        spec: p.spec.clone(),
+                        id: p.id,
+                        status,
+                        attempts,
+                        result,
+                        reason,
+                        restored,
+                    });
+                    let d = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                    if total > 1 {
+                        eprintln!("[serve] {d}/{total} jobs finished ({})", p.spec.label);
+                    }
+                });
+            }
+        });
+    }
+
+    // Assemble outcomes in jobs-file order; duplicates copy their primary.
+    let mut final_outcomes: Vec<JobOutcome> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let primary = primary_of[&ids[i]];
+        if primary == i {
+            let o = outcomes[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every primary job resolved");
+            final_outcomes.push(o);
+            continue;
+        }
+        // Duplicate line: identical parameters, so identical outcome; only
+        // the label differs and labels are not part of the digest.
+        let mut o = final_outcomes[primary].clone();
+        o.spec = spec.clone();
+        o.restored = true;
+        if let Some(r) = o.result.as_mut() {
+            r.label = spec.label.clone();
+        }
+        cache_hits.fetch_add(1, Ordering::Relaxed);
+        final_outcomes.push(o);
+    }
+
+    let sweep_digest = digest_outcomes(&final_outcomes);
+    journal.append(&rows::sweep_done(sweep_digest, final_outcomes.len()));
+
+    let report = ServeReport {
+        resumed,
+        cache_hits: cache_hits.load(Ordering::Relaxed),
+        executed: executed.load(Ordering::Relaxed),
+        journal_write_errors: journal.write_errors(),
+        journal_torn_tail: replay.torn_tail,
+        journal_quarantined_rows: replay.quarantined.len(),
+        result_cache_corrupt: result_cache_corrupt.load(Ordering::Relaxed),
+        sweep_digest,
+        outcomes: final_outcomes,
+    };
+    if let Err(e) = store.write_atomic(
+        &scfg.dir.join("SERVE_report.json"),
+        report.to_json().as_bytes(),
+    ) {
+        eprintln!("[serve] warning: could not write SERVE_report.json: {e}");
+    }
+    report
+}
+
+/// The resume contract: fold (id, status, result bits) in jobs-file order.
+fn digest_outcomes(outcomes: &[JobOutcome]) -> u64 {
+    let mut d = metrics::Digest::new();
+    // Domain tag ("RAIRSERV").
+    d.write_u64(0x5241_4952_5345_5256);
+    for o in outcomes {
+        d.write_u64(o.id);
+        d.write_str(o.status.label());
+        if let Some(r) = &o.result {
+            r.digest_into(&mut d);
+        }
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::store::StdStore;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rair-serve-{}-{tag}", std::process::id()));
+        // lint: allow(swallowed-io-error)
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn stub_result(label: &str, seed: u64) -> RunResult {
+        RunResult {
+            label: label.into(),
+            apl: vec![Some(10.0 + seed as f64)],
+            total_latency: vec![Some(12.0 + seed as f64)],
+            delivered: 100 + seed,
+            throughput: 0.1,
+            cycles: 5_000,
+            routers: 64,
+            router_cycles_skipped: 1,
+            state_updates_skipped: 2,
+            idle_cycles_skipped: 3,
+            oracle_enabled: false,
+            oracle_violations: 0,
+            truncated: false,
+            flits_retransmitted: 0,
+            packets_retried: 0,
+            packets_dropped: 0,
+            reconfigurations: 0,
+        }
+    }
+
+    /// A fast fake executor: deterministic fabricated results.
+    fn stub_exec() -> JobExec {
+        Arc::new(|spec: &JobSpec, _ec: &ExpConfig| stub_result(&spec.label, spec.seed))
+    }
+
+    fn spec(label: &str, seed: u64) -> JobSpec {
+        JobSpec::parse(&format!("{label} ro_rr local single uniform 0.10 {seed}")).unwrap()
+    }
+
+    #[test]
+    fn jobs_file_parses_and_validates() {
+        let text = "# comment\n\
+                    a rair dbar halves transpose 0.25 7\n\
+                    \n\
+                    b ro_rr xy single uniform 0.1\n";
+        let jobs = JobSpec::parse_jobs(text).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].scheme, "rair");
+        assert_eq!(jobs[0].rate, 0.25);
+        assert_eq!(jobs[1].seed, 1, "seed defaults when omitted");
+        for bad in [
+            "a ro_rr local single uniform", // missing rate
+            "a nope local single uniform 0.1",
+            "a ro_rr nope single uniform 0.1",
+            "a ro_rr local nope uniform 0.1",
+            "a ro_rr local single nope 0.1",
+            "a ro_rr local single uniform -0.1",
+            "a ro_rr local single uniform NaN",
+            "a ro_rr local single uniform 0.1 x",
+        ] {
+            assert!(JobSpec::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+        assert!(JobSpec::parse_jobs("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn job_id_ignores_label_but_nothing_else() {
+        let ec = ExpConfig::quick();
+        let a = spec("first", 7);
+        let mut b = a.clone();
+        b.label = "renamed".into();
+        assert_eq!(a.id(&ec), b.id(&ec), "label must not affect identity");
+        for perturb in [
+            |s: &mut JobSpec| s.scheme = "rair".into(),
+            |s: &mut JobSpec| s.routing = "dbar".into(),
+            |s: &mut JobSpec| s.region = "halves".into(),
+            |s: &mut JobSpec| s.pattern = "transpose".into(),
+            |s: &mut JobSpec| s.rate += 0.01,
+            |s: &mut JobSpec| s.seed += 1,
+        ] {
+            let mut c = a.clone();
+            perturb(&mut c);
+            assert_ne!(a.id(&ec), c.id(&ec), "{c:?} must change the id");
+        }
+        assert_ne!(a.id(&ec), a.id(&ExpConfig::full()), "windows are identity");
+    }
+
+    #[test]
+    fn serve_runs_resumes_and_dedups() {
+        let dir = tmp("basic");
+        let store = StdStore;
+        let specs = vec![spec("a", 1), spec("b", 2), spec("a-again", 1)];
+        let scfg = ServeConfig::new(&dir, ExpConfig::quick());
+        let exec = stub_exec();
+        let r1 = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(r1.executed, 2, "third job dedups against the first");
+        assert_eq!(r1.cache_hits, 1);
+        assert_eq!(r1.quarantined(), 0);
+        assert_eq!(r1.outcomes.len(), 3);
+        assert_eq!(r1.outcomes[2].result.as_ref().unwrap().label, "a-again");
+        assert!(dir.join("SERVE_report.json").exists());
+        assert!(dir.join("journal.wal").exists());
+        // Re-serving replays everything from the journal: zero executions,
+        // bit-identical digest.
+        let r2 = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(r2.executed, 0);
+        assert_eq!(r2.resumed, 2);
+        assert_eq!(
+            r2.sweep_digest, r1.sweep_digest,
+            "resume must be bit-identical"
+        );
+        // A fresh state dir with the same result cache also skips the sims.
+        let dir2 = tmp("basic2");
+        let scfg2 = ServeConfig {
+            dir: dir2.clone(),
+            ..scfg.clone()
+        };
+        std::fs::create_dir_all(dir2.join("results")).unwrap();
+        crate::service::copy_dir_for_tests(
+            &dir.join("results").join("cache"),
+            &dir2.join("results").join("cache"),
+        );
+        let r3 = serve(&store, &specs, &scfg2, &exec);
+        assert_eq!(r3.executed, 0, "result cache must satisfy identical jobs");
+        assert_eq!(r3.sweep_digest, r1.sweep_digest);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn corrupt_result_cache_entry_is_set_aside_and_rerun() {
+        let dir = tmp("corrupt-cache");
+        let store = StdStore;
+        let specs = vec![spec("x", 3)];
+        let scfg = ServeConfig::new(&dir, ExpConfig::quick());
+        let exec = stub_exec();
+        let r1 = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(r1.executed, 1);
+        // Corrupt the cached result and wipe the journal (so the cache is
+        // the only shortcut) — the entry must be quarantined and re-run.
+        let rpath = scfg.result_path(specs[0].id(&scfg.ec));
+        let mut bytes = std::fs::read(&rpath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&rpath, &bytes).unwrap();
+        std::fs::remove_file(scfg.journal_path()).unwrap();
+        let r2 = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(r2.result_cache_corrupt, 1);
+        assert_eq!(r2.executed, 1, "corrupt entry must be a miss, not a hit");
+        assert_eq!(r2.sweep_digest, r1.sweep_digest, "re-run value identical");
+        assert!(
+            rpath.with_extension("txt.corrupt").exists(),
+            "corrupt entry preserved for post-mortems"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poison_job_is_quarantined_not_fatal_and_stays_quarantined() {
+        let dir = tmp("poison");
+        let store = StdStore;
+        let specs = vec![spec("good", 1), spec("poison", 2)];
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let exec: JobExec = Arc::new(move |spec: &JobSpec, _ec: &ExpConfig| {
+            if spec.label == "poison" {
+                c.fetch_add(1, Ordering::SeqCst);
+                panic!("synthetic poison job");
+            }
+            stub_result(&spec.label, spec.seed)
+        });
+        let scfg = ServeConfig {
+            backoff_base_ms: 1,
+            max_attempts: 3,
+            ..ServeConfig::new(&dir, ExpConfig::quick())
+        };
+        let r1 = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "max_attempts tries");
+        assert_eq!(r1.quarantined(), 1);
+        let q = &r1.outcomes[1];
+        assert_eq!(q.status, JobStatus::Quarantined);
+        assert_eq!(q.attempts, 3);
+        assert!(q.reason.as_deref().unwrap().contains("3 failed attempt"));
+        assert!(
+            r1.outcomes[0].status == JobStatus::Done,
+            "sibling jobs unaffected"
+        );
+        assert!(r1.to_json().contains("\"status\": \"quarantined\""));
+        // Resume: the quarantine verdict is replayed, not retried.
+        let r2 = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "no retry after quarantine");
+        assert_eq!(r2.sweep_digest, r1.sweep_digest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_loop_attempts_accumulate_across_invocations() {
+        let dir = tmp("crashloop");
+        let store = StdStore;
+        let scfg = ServeConfig {
+            backoff_base_ms: 1,
+            max_attempts: 3,
+            ..ServeConfig::new(&dir, ExpConfig::quick())
+        };
+        let specs = vec![spec("killer", 9)];
+        let id = specs[0].id(&scfg.ec);
+        // Simulate two earlier invocations that each died mid-attempt:
+        // `running` rows with no completion.
+        let journal = Journal::new(scfg.journal_path(), &store);
+        journal.append(&format!("running\t{id:016x}\t1"));
+        journal.append(&format!("running\t{id:016x}\t2"));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let exec: JobExec = Arc::new(move |_s: &JobSpec, _e: &ExpConfig| {
+            c.fetch_add(1, Ordering::SeqCst);
+            panic!("third strike");
+        });
+        let r = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "only the one remaining attempt is granted"
+        );
+        assert_eq!(r.outcomes[0].status, JobStatus::Quarantined);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hung_job_times_out_and_is_quarantined() {
+        let dir = tmp("hang");
+        let store = StdStore;
+        let exec: JobExec = Arc::new(|spec: &JobSpec, _e: &ExpConfig| {
+            if spec.label == "hang" {
+                std::thread::sleep(Duration::from_millis(5_000));
+            }
+            stub_result(&spec.label, spec.seed)
+        });
+        let scfg = ServeConfig {
+            backoff_base_ms: 1,
+            max_attempts: 2,
+            timeout_ms: Some(50),
+            ..ServeConfig::new(&dir, ExpConfig::quick())
+        };
+        let specs = vec![spec("hang", 1), spec("quick", 2)];
+        let r = serve(&store, &specs, &scfg, &exec);
+        assert_eq!(r.outcomes[0].status, JobStatus::Quarantined);
+        assert!(
+            r.outcomes[0]
+                .reason
+                .as_deref()
+                .unwrap()
+                .contains("timed out after 50 ms"),
+            "{:?}",
+            r.outcomes[0].reason
+        );
+        assert_eq!(r.outcomes[1].status, JobStatus::Done);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn statically_rejected_scheme_is_gated_before_any_build() {
+        let dir = tmp("gate");
+        let store = StdStore;
+        // rair_foreign_high grants foreign traffic the high priority — the
+        // admission pipeline rejects it statically.
+        let bad = JobSpec::parse("inverted rair_foreign_high local halves uniform 0.05 1").unwrap();
+        let built = Arc::new(AtomicUsize::new(0));
+        let b = Arc::clone(&built);
+        let exec: JobExec = Arc::new(move |spec: &JobSpec, _e: &ExpConfig| {
+            b.fetch_add(1, Ordering::SeqCst);
+            stub_result(&spec.label, spec.seed)
+        });
+        let scfg = ServeConfig::new(&dir, ExpConfig::quick());
+        let r = serve(&store, &[bad], &scfg, &exec);
+        assert_eq!(r.outcomes[0].status, JobStatus::Rejected);
+        assert_eq!(built.load(Ordering::SeqCst), 0, "gate must precede build");
+        assert!(r.outcomes[0]
+            .reason
+            .as_deref()
+            .unwrap()
+            .contains("admission gate rejected"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn screening_skips_deep_saturated_jobs() {
+        let dir = tmp("screen");
+        let store = StdStore;
+        // 0.9 flits/cycle/node uniform on an 8x8 mesh is far past any
+        // predicted saturation.
+        let deep = JobSpec::parse("deep ro_rr local single uniform 0.90 1").unwrap();
+        let exec = stub_exec();
+        let scfg = ServeConfig {
+            screen: true,
+            ..ServeConfig::new(&dir, ExpConfig::quick())
+        };
+        let r = serve(&store, std::slice::from_ref(&deep), &scfg, &exec);
+        assert_eq!(r.outcomes[0].status, JobStatus::Screened);
+        assert_eq!(r.executed, 0);
+        // Without screening the same job runs.
+        let dir2 = tmp("screen-off");
+        let scfg2 = ServeConfig::new(&dir2, ExpConfig::quick());
+        let r2 = serve(&store, &[deep], &scfg2, &exec);
+        assert_eq!(r2.outcomes[0].status, JobStatus::Done);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn result_roundtrip_is_crc_guarded() {
+        let r = stub_result("weird\tlabel", 5);
+        let enc = encode_result(&r);
+        let dec = decode_result(enc.as_bytes()).expect("round trip");
+        assert_eq!(dec.label, r.label);
+        assert_eq!(dec.delivered, r.delivered);
+        let mut bad = enc.clone().into_bytes();
+        let n = bad.len() - 3;
+        bad[n] ^= 1;
+        assert!(decode_result(&bad).is_none(), "bit flip must fail the CRC");
+        assert!(decode_result(b"garbage").is_none());
+    }
+}

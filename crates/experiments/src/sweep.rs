@@ -144,6 +144,15 @@ static MEM_HITS: AtomicU64 = AtomicU64::new(0);
 static DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static WARMED_SEARCHES: AtomicU64 = AtomicU64::new(0);
 static COLD_SEARCHES: AtomicU64 = AtomicU64::new(0);
+/// Disk entries that failed to parse or failed their CRC and were set
+/// aside as `*.corrupt` (each one degraded to a re-search, never a panic
+/// or a wrong value).
+static CACHE_CORRUPT: AtomicU64 = AtomicU64::new(0);
+
+/// Corrupt disk-cache entries detected (and set aside) since startup.
+pub fn saturation_cache_corrupt_count() -> u64 {
+    CACHE_CORRUPT.load(Ordering::Relaxed)
+}
 
 /// Process-wide saturation-cache counters: `(mem_hits, disk_hits,
 /// warmed_searches, cold_searches)` since startup.
@@ -220,33 +229,84 @@ fn cache_path(key: u64) -> PathBuf {
     cache_dir().join(format!("sat_{key:016x}.txt"))
 }
 
-/// Read a cached value from disk. The first line is the exact f64 bit
-/// pattern in hex (round-trip lossless); anything after it is ignored.
-fn disk_read(key: u64) -> Option<f64> {
-    let text = std::fs::read_to_string(cache_path(key)).ok()?;
-    let bits = u64::from_str_radix(text.lines().next()?.trim(), 16).ok()?;
+/// Parse a cache entry's text. Two on-disk generations:
+///
+/// - **v2** (written since the chaos PR): `v2 <bits:016x> <crc:08x>` where
+///   the CRC covers the bit-pattern hex token, so silent bit rot in the
+///   value is detected instead of returned as a wrong saturation load.
+/// - **legacy**: a bare 16-digit bit pattern on the first line (kept
+///   readable so committed caches survive the format bump).
+fn parse_cache_entry(text: &str) -> Option<f64> {
+    let first = text.lines().next()?.trim();
+    let bits = if let Some(rest) = first.strip_prefix("v2 ") {
+        let mut it = rest.split_whitespace();
+        let hex = it.next()?;
+        let crc = u32::from_str_radix(it.next()?, 16).ok()?;
+        if crate::service::crc32(hex.as_bytes()) != crc {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        u64::from_str_radix(first, 16).ok()?
+    };
     let v = f64::from_bits(bits);
     v.is_finite().then_some(v)
 }
 
-/// Persist a value: bit-pattern line first, a human-readable comment line
-/// second. Written via temp-file + rename so concurrent sweeps (or an
-/// interrupted run) can never leave a torn entry; failures are silently
-/// ignored — the cache is an optimization, not a dependency.
+/// Read a cached value from disk. An entry that fails to parse or fails
+/// its CRC is a **miss**: it is counted, renamed to `*.corrupt` for
+/// post-mortems, and the caller re-searches — a damaged cache can cost
+/// simulations, never correctness.
+fn disk_read(key: u64) -> Option<f64> {
+    let path = cache_path(key);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match parse_cache_entry(&text) {
+        Some(v) => Some(v),
+        None => {
+            CACHE_CORRUPT.fetch_add(1, Ordering::Relaxed);
+            let aside = path.with_extension("txt.corrupt");
+            eprintln!(
+                "[sweep] warning: corrupt saturation cache entry {} (CRC/parse \
+                 failure); setting it aside and re-searching",
+                path.display()
+            );
+            if let Err(e) = std::fs::rename(&path, &aside) {
+                eprintln!("[sweep] warning: could not set aside corrupt cache entry: {e}");
+            }
+            None
+        }
+    }
+}
+
+/// Persist a value in the v2 (CRC-guarded) format: value line first, a
+/// human-readable comment line second. Written via temp-file + rename so
+/// concurrent sweeps (or an interrupted run) can never leave a torn entry;
+/// failures are warned about but non-fatal — the cache is an optimization,
+/// not a dependency.
 fn disk_write(key: u64, value: f64, label: &str) {
     let dir = cache_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "[sweep] warning: could not create cache dir {}: {e}",
+            dir.display()
+        );
         return;
     }
     let tmp = dir.join(format!("sat_{key:016x}.tmp.{}", std::process::id()));
+    let hex = format!("{:016x}", value.to_bits());
     let body = format!(
-        "{:016x}\n# {} = {:.6} flits/cycle/node\n",
-        value.to_bits(),
+        "v2 {hex} {:08x}\n# {} = {:.6} flits/cycle/node\n",
+        crate::service::crc32(hex.as_bytes()),
         label,
         value
     );
-    if std::fs::write(&tmp, body).is_ok() {
-        let _ = std::fs::rename(&tmp, cache_path(key));
+    let committed =
+        std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, cache_path(key)));
+    if let Err(e) = committed {
+        eprintln!(
+            "[sweep] warning: could not persist saturation cache entry \
+             sat_{key:016x}: {e}"
+        );
     }
 }
 
@@ -392,6 +452,7 @@ mod tests {
         fn new(tag: &str) -> Self {
             let dir =
                 std::env::temp_dir().join(format!("rair-satcache-{}-{tag}", std::process::id()));
+            // lint: allow(swallowed-io-error)
             let _ = std::fs::remove_dir_all(&dir);
             std::fs::create_dir_all(&dir).unwrap();
             std::env::set_var("RAIR_CACHE_DIR", &dir);
@@ -402,6 +463,7 @@ mod tests {
     impl Drop for TempCacheDir {
         fn drop(&mut self) {
             std::env::remove_var("RAIR_CACHE_DIR");
+            // lint: allow(swallowed-io-error)
             let _ = std::fs::remove_dir_all(&self.dir);
         }
     }
@@ -560,6 +622,53 @@ mod tests {
         // Corrupt entries are treated as misses, not errors.
         std::fs::write(cache_path(0xBAD), "not-hex\n").unwrap();
         assert_eq!(disk_read(0xBAD), None);
+        // Legacy (pre-CRC) entries — a bare bit-pattern line — stay
+        // readable, so committed caches survive the format bump.
+        std::fs::write(
+            cache_path(0x1E6),
+            format!("{:016x}\n# legacy comment\n", 0.25f64.to_bits()),
+        )
+        .unwrap();
+        assert_eq!(disk_read(0x1E6), Some(0.25));
+    }
+
+    /// Satellite requirement: corrupting a *live* cache entry must cost a
+    /// re-search, never correctness — the re-searched value is bit-identical,
+    /// the damaged file is set aside as `*.corrupt`, and the event counted.
+    #[test]
+    fn corrupt_live_cache_entry_is_set_aside_and_research_is_identical() {
+        let _guard = env_lock();
+        let _tmp = TempCacheDir::new("corrupt-live");
+        clear_saturation_cache();
+        let cfg = SimConfig::table1();
+        let region = RegionMap::halves(&cfg);
+        let ec = ExpConfig::quick();
+        let spec = AppSpec::intra_only(0.0);
+        let (v1, _) = cached_saturation_traced("corrupt/live", &ec, &cfg, &region, 0, &spec);
+        // Flip one byte inside the stored bit pattern of the live entry.
+        let key = sat_digest(&SaturationProbe::quick(), &cfg, &region, 0, &spec);
+        let path = cache_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"v2 "), "new entries use the CRC format");
+        bytes[4] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        clear_saturation_cache();
+        let before = saturation_cache_corrupt_count();
+        let (v2, how) = cached_saturation_traced("corrupt/again", &ec, &cfg, &region, 0, &spec);
+        assert!(
+            matches!(how, SatLookup::Warmed | SatLookup::Searched),
+            "corrupt entry must be a miss, got {how:?}"
+        );
+        assert_eq!(
+            v1.to_bits(),
+            v2.to_bits(),
+            "re-search must reproduce the identical value"
+        );
+        assert_eq!(saturation_cache_corrupt_count(), before + 1);
+        assert!(
+            path.with_extension("txt.corrupt").exists(),
+            "damaged entry set aside for post-mortems"
+        );
     }
 
     #[test]

@@ -206,3 +206,65 @@ fn topology_accepts_cmesh_bounds() {
         );
     }
 }
+
+#[test]
+fn serve_requires_a_jobs_file() {
+    let out = repro().arg("serve").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve needs a jobs file"));
+
+    let out = repro()
+        .args(["serve", "/nonexistent/jobs.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn serve_demo_jobs_run_dedup_gate_and_resume() {
+    let dir = std::env::temp_dir().join(format!("rair-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/serve_demo.jobs"
+    );
+    let run = || {
+        repro()
+            .args([
+                "--quick",
+                "--windows",
+                "200,600",
+                "serve",
+                jobs,
+                "--dir",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let s1 = String::from_utf8_lossy(&first.stdout);
+    // The inverted scheme is gate-rejected; the relabeled duplicate dedups.
+    assert!(s1.contains("rejected"), "{s1}");
+    assert!(s1.contains("sweep digest"), "{s1}");
+
+    // Second invocation resumes everything from the journal: 0 executed,
+    // identical digest.
+    let second = run();
+    assert!(second.status.success());
+    let s2 = String::from_utf8_lossy(&second.stdout);
+    assert!(s2.contains("0 executed"), "{s2}");
+    let digest = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("sweep digest"))
+            .and_then(|l| l.split_whitespace().nth(2).map(str::to_string))
+            .unwrap()
+    };
+    assert_eq!(digest(&s1), digest(&s2), "resumed digest must match");
+    let _ = std::fs::remove_dir_all(&dir);
+}

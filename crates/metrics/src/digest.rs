@@ -43,6 +43,23 @@ impl Digest {
         self.write_u64(x.to_bits());
     }
 
+    /// Fold a byte slice into the digest, length-prefixed so that
+    /// `("ab", "c")` and `("a", "bc")` hash differently.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a string into the digest (UTF-8 bytes, length-prefixed).
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
     /// The accumulated 64-bit fingerprint.
     pub fn finish(&self) -> u64 {
         self.0
@@ -92,6 +109,24 @@ mod tests {
         c.write_f64(1.5);
         let mut d = Digest::new();
         d.write_f64(1.5);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let mut a = Digest::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Digest::new();
+        b.write_str("a");
+        b.write_str("bc");
+        // Same concatenated bytes, different boundaries: must differ.
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Digest::new();
+        c.write_str("rair");
+        let mut d = Digest::new();
+        d.write_bytes(b"rair");
         assert_eq!(c.finish(), d.finish());
     }
 }

@@ -118,6 +118,47 @@ pub const PANIC_RULE: Rule = Rule {
           recover with `let .. else { debug_assert!(false, ..); .. }`",
 };
 
+/// The statement-scoped durability rule: in the modules that own crash
+/// safety (the checkpoint runner, the saturation cache, the experiment
+/// service), discarding an IO result with `let _ = …` is how checkpoint
+/// rows silently vanish. The rule flags a `let _ =` binding whose
+/// right-hand side mentions one of these filesystem/write tokens; the
+/// `// lint: allow(swallowed-io-error)` hatch marks the sites where
+/// discarding really is the policy (best-effort temp-dir cleanup in tests).
+pub const SWALLOWED_IO_RULE: Rule = Rule {
+    name: "swallowed-io-error",
+    tokens: &[
+        "fs",
+        "File",
+        "OpenOptions",
+        "write",
+        "writeln",
+        "write_all",
+        "flush",
+        "sync_all",
+        "sync_data",
+        "rename",
+        "remove_file",
+        "remove_dir_all",
+        "create_dir_all",
+        "create_dir",
+        "set_len",
+        "copy",
+        "hard_link",
+        "append_durable",
+        "write_atomic",
+    ],
+    why: "durability modules must surface IO failures (warning + counter), \
+          not discard them with `let _ =`",
+};
+
+/// Files and subtrees held to [`SWALLOWED_IO_RULE`] — the durability layer.
+pub const DURABILITY_SCOPES: &[&str] = &[
+    "crates/experiments/src/runner.rs",
+    "crates/experiments/src/sweep.rs",
+    "crates/experiments/src/service",
+];
+
 /// One file whose named function bodies are held to [`PANIC_RULE`].
 pub struct HotPath {
     /// Path relative to the workspace root.
@@ -157,6 +198,7 @@ pub fn rule(name: &str) -> Option<&'static Rule> {
         .iter()
         .find(|r| r.name == name)
         .or((PANIC_RULE.name == name).then_some(&PANIC_RULE))
+        .or((SWALLOWED_IO_RULE.name == name).then_some(&SWALLOWED_IO_RULE))
 }
 
 /// One banned token found in a scanned file.
@@ -550,6 +592,100 @@ pub fn lint_hot_source(path: &str, src: &str, functions: &[&str]) -> Vec<Finding
     findings
 }
 
+/// Apply [`SWALLOWED_IO_RULE`] to one source text: flag every `let _ = …`
+/// statement whose right-hand side mentions a filesystem/write token.
+///
+/// The scanner has no statement boundaries, so the right-hand side is
+/// approximated as the tokens after the `_` up to the next `let`/`fn`
+/// ident, a 24-token window, or two lines past the binding — generous
+/// enough for chained `std::fs::…` calls, tight enough that an IO call in
+/// a *following* statement never attributes backwards. The
+/// `lint: allow(swallowed-io-error)` hatch is honored at the `let` line
+/// (directives cover their own line and the next, so a comment directly
+/// above works).
+pub fn lint_swallowed_io_source(path: &str, src: &str) -> Vec<Finding> {
+    let (toks, allows) = scan(src);
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let Tok::Ident(line, id) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        if id != "let" {
+            i += 1;
+            continue;
+        }
+        // The binding must be exactly `_` (not `_named`).
+        let Some(Tok::Ident(_, bind)) = toks[i + 1..].iter().find(|t| matches!(t, Tok::Ident(..)))
+        else {
+            break;
+        };
+        if bind != "_" {
+            i += 1;
+            continue;
+        }
+        if allows
+            .get(*line)
+            .is_some_and(|a| a.iter().any(|n| n == SWALLOWED_IO_RULE.name))
+        {
+            i += 1;
+            continue;
+        }
+        // Report the LAST matching token in the window: for a path like
+        // `std::fs::remove_file` that is the call name, not the module.
+        let mut hit: Option<String> = None;
+        for t in toks.iter().skip(i + 2).take(24) {
+            let Tok::Ident(l2, id2) = t else { continue };
+            if *l2 > line + 2 || id2 == "let" || id2 == "fn" {
+                break;
+            }
+            if SWALLOWED_IO_RULE.tokens.contains(&id2.as_str()) {
+                hit = Some(id2.clone());
+            }
+        }
+        if let Some(id2) = hit {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: *line,
+                rule: SWALLOWED_IO_RULE.name,
+                token: format!("let _ = …{id2}…"),
+                why: SWALLOWED_IO_RULE.why,
+            });
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Lint every durability-scoped file under `root` (the workspace root)
+/// with [`SWALLOWED_IO_RULE`].
+pub fn lint_durability_scopes(root: &Path) -> Vec<Finding> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for scope in DURABILITY_SCOPES {
+        let p = root.join(scope);
+        if p.is_dir() {
+            rust_files(&p, &mut files);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            files.push(p);
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut findings = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(&f).unwrap_or_default();
+        let label = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        findings.extend(lint_swallowed_io_source(&label, &src));
+    }
+    findings
+}
+
 /// Lint every configured hot path under `root` (the workspace root).
 pub fn lint_hot_paths(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -600,11 +736,12 @@ pub fn lint_scope(root: &Path, scope: &Scope) -> Vec<Finding> {
     findings
 }
 
-/// Lint every configured scope plus the hot-path function bodies. Empty
-/// result = clean tree.
+/// Lint every configured scope, the hot-path function bodies, and the
+/// durability scopes. Empty result = clean tree.
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     let mut findings: Vec<Finding> = SCOPES.iter().flat_map(|s| lint_scope(root, s)).collect();
     findings.extend(lint_hot_paths(root));
+    findings.extend(lint_durability_scopes(root));
     findings
 }
 

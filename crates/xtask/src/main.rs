@@ -36,6 +36,8 @@ fn print_usage() {
     }
     let p = &xtask::PANIC_RULE;
     eprintln!("  {:<24} {} (function-scoped)", p.name, p.why);
+    let s = &xtask::SWALLOWED_IO_RULE;
+    eprintln!("  {:<24} {} (durability modules)", s.name, s.why);
 }
 
 fn lint() -> ExitCode {
@@ -44,7 +46,11 @@ fn lint() -> ExitCode {
     if findings.is_empty() {
         let files: usize = xtask::SCOPES.len();
         let hot: usize = xtask::HOT_PATHS.iter().map(|h| h.functions.len()).sum();
-        println!("xtask lint: clean ({files} scopes, {hot} hot-path functions, 0 findings)");
+        let dur = xtask::DURABILITY_SCOPES.len();
+        println!(
+            "xtask lint: clean ({files} scopes, {hot} hot-path functions, \
+             {dur} durability scopes, 0 findings)"
+        );
         return ExitCode::SUCCESS;
     }
     for f in &findings {

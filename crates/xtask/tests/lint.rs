@@ -247,3 +247,52 @@ fn panic_rule_lookup_and_workspace_hot_paths_clean() {
     let findings = xtask::lint_hot_paths(&xtask::workspace_root());
     assert!(findings.is_empty(), "{findings:?}");
 }
+
+#[test]
+fn swallowed_io_flags_discarded_fs_results() {
+    let src = "fn cleanup(p: &std::path::Path) {\n    let _ = std::fs::remove_file(p);\n}\n";
+    let f = xtask::lint_swallowed_io_source("fixture.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "swallowed-io-error");
+    assert_eq!(f[0].line, 2);
+    assert!(f[0].token.contains("remove_file"), "{f:?}");
+}
+
+#[test]
+fn swallowed_io_flags_discarded_writes_and_syncs() {
+    for call in [
+        "writeln!(out, \"x\")",
+        "write!(out, \"x\")",
+        "file.write_all(b\"x\")",
+        "file.sync_all()",
+        "std::fs::rename(a, b)",
+        "store.append_durable(p, b\"x\")",
+    ] {
+        let src = format!("fn f() {{\n    let _ = {call};\n}}\n");
+        let f = xtask::lint_swallowed_io_source("fixture.rs", &src);
+        assert_eq!(f.len(), 1, "{call} missed: {f:?}");
+    }
+}
+
+#[test]
+fn swallowed_io_allow_hatch_and_non_io_bindings_stay_legal() {
+    // The escape hatch on the preceding line suppresses the finding.
+    let hatched = "fn f(p: &std::path::Path) {\n    // lint: allow(swallowed-io-error)\n    let _ = std::fs::remove_file(p);\n}\n";
+    assert!(xtask::lint_swallowed_io_source("fixture.rs", hatched).is_empty());
+    // A named discard is visible in review; only the bare `_` is flagged.
+    let named = "fn f(p: &std::path::Path) {\n    let _ignored = std::fs::remove_file(p);\n}\n";
+    assert!(xtask::lint_swallowed_io_source("fixture.rs", named).is_empty());
+    // Discarding a non-IO result is not this lint's business.
+    let benign = "fn f() {\n    let _ = heap.pop();\n    let _ = send(msg);\n}\n";
+    assert!(xtask::lint_swallowed_io_source("fixture.rs", benign).is_empty());
+    // An IO call in a LATER statement must not attribute backwards.
+    let later = "fn f(p: &std::path::Path) {\n    let _ = heap.pop();\n    let r = std::fs::remove_file(p);\n    r.unwrap();\n}\n";
+    assert!(xtask::lint_swallowed_io_source("fixture.rs", later).is_empty());
+}
+
+#[test]
+fn swallowed_io_rule_lookup_and_durability_scopes_clean() {
+    assert!(xtask::rule("swallowed-io-error").is_some());
+    let findings = xtask::lint_durability_scopes(&xtask::workspace_root());
+    assert!(findings.is_empty(), "{findings:?}");
+}
